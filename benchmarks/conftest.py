@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series (visible with ``pytest -s``, and
+always written to ``benchmarks/results/``).  Benchmarks run at a
+documented fraction of the paper's scale — pure-Python event rates
+cannot match C++ ns-3 over 2000-second runs — and each module's
+docstring records the scaling; EXPERIMENTS.md compares shapes against
+the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,74 @@
+"""Bench: ablations of TACTIC's design choices (DESIGN.md section 5).
+
+Not a paper artifact — these quantify the *reasons* behind the paper's
+design decisions on the common Topology-1 workload:
+
+- NACK-carries-content vs drop-only (Protocol 3's "returns the content
+  D even if Tu is invalid"),
+- Bloom-filter collaboration vs always-verify (also in Table II; here
+  isolated as verification count per delivered chunk),
+- tag expiry as the revocation/overhead dial.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments import Scenario, run_scenario
+from repro.experiments.report import render_table
+
+SCALE = 0.2
+DURATION = 12.0
+
+
+def run_ablations():
+    rows = {}
+    for label, overrides in {
+        "baseline": {},
+        "drop-only": {"nack_carries_content": False},
+        "no-bloom": {"use_bloom_filters": False},
+        "te=2s": {"tag_expiry": 2.0},
+        "te=50s": {"tag_expiry": 50.0},
+    }.items():
+        scenario = Scenario.paper_topology(
+            1, duration=DURATION, seed=6, scale=SCALE
+        ).with_config(**overrides)
+        result = run_scenario(scenario)
+        edge = result.operation_counts(edge=True)
+        core = result.operation_counts(edge=False)
+        clients = result.metrics
+        timeouts = sum(u.timeouts for u in clients.users.values() if not u.is_attacker)
+        rows[label] = {
+            "client_ratio": result.client_delivery_ratio(),
+            "attacker_ratio": result.attacker_delivery_ratio(),
+            "client_timeouts": timeouts,
+            "router_verifs": edge.signature_verifications
+            + core.signature_verifications,
+            "tag_rate": result.tag_rates()[0],
+        }
+    return rows
+
+
+def test_design_ablations(benchmark):
+    rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    table = render_table(
+        ["variant", "client ratio", "attacker ratio", "client timeouts",
+         "router verifs", "tag req/s"],
+        [
+            [name, round(r["client_ratio"], 4), round(r["attacker_ratio"], 4),
+             r["client_timeouts"], r["router_verifs"], round(r["tag_rate"], 2)]
+            for name, r in rows.items()
+        ],
+        title="Design-choice ablations (Topology 1 workload)",
+    )
+    publish("ablations", table)
+
+    base = rows["baseline"]
+    # Security holds in every TACTIC variant.
+    for name, r in rows.items():
+        assert r["attacker_ratio"] < 0.01, name
+    # Drop-only cannot *improve* on NACK+content for clients.
+    assert rows["drop-only"]["client_ratio"] <= base["client_ratio"] + 1e-9
+    assert rows["drop-only"]["client_timeouts"] >= base["client_timeouts"]
+    # Bloom filters are what keep router crypto negligible.
+    assert rows["no-bloom"]["router_verifs"] > 50 * max(1, base["router_verifs"])
+    # Tag expiry dials registration load without touching delivery.
+    assert rows["te=2s"]["tag_rate"] > rows["te=50s"]["tag_rate"] * 2
+    assert rows["te=2s"]["client_ratio"] > 0.99

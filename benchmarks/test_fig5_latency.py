@@ -1,0 +1,45 @@
+"""Bench: Fig. 5 — retrieval latency vs. Bloom-filter size.
+
+Paper: four topologies, BF sizes 500/2500/10000, 2000 s.  Here:
+Topology 1 at 25% scale for 20 s with proportionally scaled BF sizes
+(so saturation dynamics match the shortened run).  Expected shape:
+larger filters -> fewer resets -> lower (or equal) mean latency, and
+clients retrieve throughout.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.fig5_latency import render_fig5, reproduce_fig5
+
+SCALE = 0.25
+DURATION = 20.0
+#: Paper sizes 500/2500/10000 scaled by ~1/25 (duration x population).
+BF_SIZES = (20, 100, 400)
+
+
+def run_fig5():
+    return reproduce_fig5(
+        topologies=(1,),
+        bf_sizes=BF_SIZES,
+        duration=DURATION,
+        seed=1,
+        scale=SCALE,
+        tag_expiry=5.0,
+    )
+
+
+def test_fig5_latency(benchmark):
+    points = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    publish("fig5_latency", render_fig5(points))
+
+    by_size = {p.bf_capacity: p for p in points}
+    # Every curve has real latency samples across the run.
+    for point in points:
+        assert point.mean_latency > 0
+        assert len(point.series) >= DURATION * 0.5
+    # Paper trend: bigger filters reset less...
+    assert by_size[BF_SIZES[0]].bf_resets_edge >= by_size[BF_SIZES[-1]].bf_resets_edge
+    # ...and do not cost more latency.
+    assert (
+        by_size[BF_SIZES[-1]].mean_latency
+        <= by_size[BF_SIZES[0]].mean_latency * 1.25
+    )

@@ -1,0 +1,35 @@
+"""Bench: Fig. 6 — tag-request (Q) and tag-receive (R) rates.
+
+Paper: rates grow linearly with topology size (clients); the Topo 1
+inset shows TE=100 s cutting the rates to a fraction of TE=10 s.
+Here: Topologies 1 and 2 at 25% scale, TE in {10, 100}, 30 s.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.fig6_tag_rates import render_fig6, reproduce_fig6
+
+
+def run_fig6():
+    return reproduce_fig6(
+        topologies=(1, 2),
+        tag_expiries=(10.0, 100.0),
+        duration=30.0,
+        seed=1,
+        scale=0.25,
+    )
+
+
+def test_fig6_tag_rates(benchmark):
+    points = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    publish("fig6_tag_rates", render_fig6(points))
+
+    by_key = {(p.topology, p.tag_expiry): p for p in points}
+    # Inset trend: longer expiry -> lower rates, on every topology.
+    for topo in (1, 2):
+        assert by_key[(topo, 10.0)].request_rate > by_key[(topo, 100.0)].request_rate
+    # Main-panel trend: more clients -> higher rates (TE fixed).
+    assert by_key[(2, 10.0)].request_rate > by_key[(1, 10.0)].request_rate
+    # Receive rate tracks request rate (registrations succeed).
+    for point in points:
+        assert point.receive_rate <= point.request_rate
+        assert point.receive_rate > 0.8 * point.request_rate

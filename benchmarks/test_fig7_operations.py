@@ -1,0 +1,30 @@
+"""Bench: Fig. 7 — BF lookups (L), insertions (I), verifications (V).
+
+Paper (log scale): at edges, L dominates and V is orders of magnitude
+rarer; core routers show drastically lower totals than edges thanks to
+aggregation and the F-flag collaboration.  Here: Topologies 1 and 2 at
+25% scale, 20 s.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.fig7_operations import render_fig7, reproduce_fig7
+
+
+def run_fig7():
+    return reproduce_fig7(topologies=(1, 2), duration=20.0, seed=1, scale=0.25)
+
+
+def test_fig7_operations(benchmark):
+    rows = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    publish("fig7_operations", render_fig7(rows))
+
+    for row in rows:
+        # Edge: the cheap op dominates, the expensive op is rare.
+        assert row.edge_lookups > 100 * max(1, row.edge_verifications)
+        assert row.edge_lookups > row.edge_inserts
+        # Core totals drastically below edge totals.
+        core_total = row.core_lookups + row.core_inserts + row.core_verifications
+        edge_total = row.edge_lookups + row.edge_inserts + row.edge_verifications
+        assert core_total * 10 < edge_total
+    # Bigger topology -> more operations overall.
+    assert rows[1].edge_lookups > rows[0].edge_lookups

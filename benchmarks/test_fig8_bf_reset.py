@@ -1,0 +1,38 @@
+"""Bench: Fig. 8 — requests absorbed before a Bloom-filter reset.
+
+Paper (Topology 1): raising the max FPP from 1e-4 to 1e-2 on a fixed
+filter significantly raises the requests-per-reset budget, while the
+tag expiry barely moves it.  Here: 25% scale, 40 s, filter capacity
+scaled to 12 (paper 500) so saturation occurs within the run.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.fig8_bf_reset import render_fig8, reproduce_fig8
+
+
+def run_fig8():
+    return reproduce_fig8(
+        topology=1,
+        tag_expiries=(5.0, 10.0),
+        fpps=(1e-4, 1e-2),
+        duration=40.0,
+        seed=1,
+        scale=0.25,
+        bf_capacity=12,
+    )
+
+
+def test_fig8_bf_reset(benchmark):
+    points = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    publish("fig8_bf_reset", render_fig8(points))
+
+    by_key = {(p.tag_expiry, p.max_fpp): p for p in points}
+    for expiry in (5.0, 10.0):
+        low = by_key[(expiry, 1e-4)]
+        high = by_key[(expiry, 1e-2)]
+        # The FPP lever: a laxer threshold absorbs more before resetting.
+        assert low.edge_resets >= high.edge_resets
+        if low.edge_requests_per_reset and high.edge_requests_per_reset:
+            assert high.edge_requests_per_reset > low.edge_requests_per_reset
+    # The strict-FPP configurations must actually reset in this window.
+    assert by_key[(5.0, 1e-4)].edge_resets > 0

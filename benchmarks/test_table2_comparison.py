@@ -1,0 +1,44 @@
+"""Bench: Table II — TACTIC vs. the baseline scheme classes.
+
+The paper's Table II is qualitative; this bench quantifies its cells on
+a common workload (Topology 1 at 25% scale, 15 s): attacker bandwidth
+waste (client-side enforcement), origin load (provider enforcement),
+per-request router crypto (network enforcement without filters), and
+client latency.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.table2_comparison import render_table2, reproduce_table2
+
+
+def run_table2():
+    return reproduce_table2(topology=1, duration=15.0, seed=1, scale=0.25)
+
+
+def test_table2_comparison(benchmark):
+    measurements = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    publish("table2_comparison", render_table2(measurements))
+
+    by_scheme = {m.scheme: m for m in measurements}
+    tactic = by_scheme["tactic"]
+
+    # TACTIC: network-enforced, low overhead, attackers blocked.
+    assert tactic.attacker_ratio < 0.01
+    assert tactic.client_ratio > 0.99
+
+    # Client-side AC: attackers consume full bandwidth (DDoS exposure).
+    assert by_scheme["client_side"].attacker_ratio > 0.9
+    assert by_scheme["client_side"].attacker_bytes_wasted > 100 * max(
+        1, tactic.attacker_bytes_wasted
+    )
+
+    # No-BF ablation: same security, orders of magnitude more crypto.
+    assert by_scheme["no_bloom"].attacker_ratio < 0.01
+    assert by_scheme["no_bloom"].router_verifications > 100 * max(
+        1, tactic.router_verifications
+    )
+
+    # Always-online provider: origin load balloons without caching.
+    assert by_scheme["provider_auth"].origin_chunks_served > 2 * max(
+        1, tactic.origin_chunks_served
+    )

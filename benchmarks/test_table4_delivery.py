@@ -1,0 +1,35 @@
+"""Bench: Table IV — delivery ratios, clients vs. attackers.
+
+Paper (2000 s, full topologies): clients 0.9997-0.9999, attackers
+0.0-0.0078 with successes attributable only to Bloom-filter false
+positives.  Here: Topologies 1 and 2 at 25% scale for 20 s.  Expected
+shape: clients ~= 1.0, attackers ~= 0, attacker request volume orders
+of magnitude below clients'.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.table4_delivery import (
+    PAPER_TABLE4,
+    render_table4,
+    reproduce_table4,
+)
+
+
+def run_table4():
+    return reproduce_table4(topologies=(1, 2), duration=20.0, seed=1, scale=0.25)
+
+
+def test_table4_delivery(benchmark):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    lines = [render_table4(rows), "", "Paper reference cells:"]
+    for topo, cells in PAPER_TABLE4.items():
+        lines.append(
+            f"  Topo {topo}: client {cells['client_ratio']}, "
+            f"attacker {cells['attacker_ratio']}"
+        )
+    publish("table4_delivery", "\n".join(lines))
+
+    for row in rows:
+        assert row.client_ratio > 0.99
+        assert row.attacker_ratio < 0.01
+        assert row.attacker_requested * 10 < row.client_requested

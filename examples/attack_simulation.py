@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Threat-model walkthrough: every attacker class from Section 3.C.
+
+Runs one scenario per attacker mode on paper Topology 1 (scaled) and
+reports each mode's outcome — which defence layer stopped it and how
+many chunks leaked.  Also demonstrates the access-path ablation: with
+the location binding disabled (as in the paper's own simulations,
+which left it to future work), the shared-tag attacker succeeds.
+
+Run:  python examples/attack_simulation.py
+"""
+
+from repro.core.attacker import AttackerMode
+from repro.experiments import Scenario, run_scenario
+
+SCALE = 0.2
+DURATION = 12.0
+
+DEFENCE = {
+    AttackerMode.NO_TAG: "content router: Protocol 1 NO_TAG pre-check",
+    AttackerMode.FAKE_TAG: "content router: signature verification",
+    AttackerMode.EXPIRED_TAG: "edge router: Protocol 1 expiry pre-check",
+    AttackerMode.LOW_ACCESS_LEVEL: "content router: ALD <= ALu pre-check",
+    AttackerMode.SHARED_TAG: "edge router: access-path comparison",
+}
+
+
+def run_mode(mode: AttackerMode, enable_access_path: bool = True):
+    scenario = Scenario.paper_topology(
+        1,
+        duration=DURATION,
+        seed=7,
+        scale=SCALE,
+        attacker_modes=(mode,),
+    ).with_config(enable_access_path=enable_access_path)
+    return run_scenario(scenario)
+
+
+def main() -> None:
+    print(f"{'attacker mode':<22}{'requested':>10}{'received':>10}{'ratio':>8}   stopped by")
+    print("-" * 95)
+    for mode in AttackerMode:
+        result = run_mode(mode)
+        requested = result.metrics.total_requested(attackers=True)
+        received = result.metrics.total_received(attackers=True)
+        ratio = result.attacker_delivery_ratio()
+        print(
+            f"{mode.value:<22}{requested:>10}{received:>10}{ratio:>8.4f}   {DEFENCE[mode]}"
+        )
+        assert ratio < 0.01, f"{mode} leaked content!"
+
+    print("\nablation: access-path check disabled (the paper's own simulation setup)")
+    result = run_mode(AttackerMode.SHARED_TAG, enable_access_path=False)
+    ratio = result.attacker_delivery_ratio()
+    print(f"shared-tag attacker delivery ratio without the binding: {ratio:.4f}")
+    assert ratio > 0.5, "expected the shared tag to work without the binding"
+    print(
+        "-> tag sharing defeats TACTIC unless the access-path feature is on;\n"
+        "   this is exactly the gap Section 4.A's APu field closes."
+    )
+
+    clients = run_mode(AttackerMode.NO_TAG).client_delivery_ratio()
+    print(f"\nlegitimate clients throughout: {clients:.4f} delivery ratio")
+
+
+if __name__ == "__main__":
+    main()

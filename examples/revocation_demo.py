@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Revocation: tag expiry as membership control (Section 5 / Table II).
+
+Demonstrates TACTIC's revocation story end to end:
+
+1. a subscriber consumes content normally, re-registering every TE
+   seconds;
+2. the provider revokes her mid-run (directory refusal — no content
+   re-encryption, no network-wide key update, no router notification);
+3. her current tag keeps working until it expires — the *worst-case
+   exposure* is exactly TE — after which every request dies at the edge;
+4. a sweep over TE quantifies the paper's trade-off: shorter expiry
+   means faster revocation but proportionally more registration load.
+
+Run:  python examples/revocation_demo.py
+"""
+
+from repro.core import Client, CoreRouter, EdgeRouter, Provider, TacticConfig
+from repro.core.metrics import MetricsCollector
+from repro.core.revocation import ExpiryRevocation
+from repro.crypto.pki import CertificateStore
+from repro.crypto.sim_signature import SimulatedKeyPair
+from repro.experiments import Scenario, run_scenario
+from repro.ndn import AccessPoint, Network
+from repro.sim import Simulator
+from repro.workload.catalog import build_catalog
+
+
+def build_single_client_net():
+    """client -- AP -- edge -- core -- provider, plus the metrics hub."""
+    config = TacticConfig(tag_expiry=10.0)
+    sim = Simulator(seed=11)
+    network = Network(sim)
+    cert_store = CertificateStore()
+    metrics = MetricsCollector()
+
+    provider = Provider(
+        sim, "prov-0", config, cert_store, SimulatedKeyPair.generate(sim.rng.stream("p"))
+    )
+    provider.publish_catalog([1, 2, 3])
+    edge = EdgeRouter(sim, "edge-0", config, cert_store, metrics)
+    core = CoreRouter(sim, "core-0", config, cert_store, metrics)
+    ap = AccessPoint(sim, "ap-0")
+    for node in (provider, edge, core):
+        network.add_node(node)
+    network.add_node(ap, routable=False)
+    network.connect(ap, edge, bandwidth_bps=10e6, latency=0.002)
+    network.connect(edge, core, bandwidth_bps=500e6, latency=0.001)
+    network.connect(core, provider, bandwidth_bps=500e6, latency=0.001)
+    ap.set_uplink(ap.face_toward(edge))
+    network.announce_prefix(provider.prefix, provider)
+
+    keys = SimulatedKeyPair.generate(sim.rng.stream("alice"))
+    client = Client(
+        sim, "alice", config,
+        build_catalog([provider]).accessible_to(3),
+        metrics.user("alice"), access_level=3, keypair=keys,
+    )
+    client.credentials["prov-0"] = provider.directory.enroll(
+        "alice", 3, public_key=keys.public
+    )
+    network.add_node(client, routable=False)
+    network.connect(client, ap, bandwidth_bps=10e6, latency=0.002)
+    return sim, config, provider, client, metrics
+
+
+def single_client_revocation() -> None:
+    print("== single-subscriber revocation ==")
+    sim, config, provider, client, metrics = build_single_client_net()
+    te = config.tag_expiry
+    client.start(at=0.0, until=30.0)
+
+    policy = ExpiryRevocation(tag_lifetime=te)
+    revoke_at = 8.0
+    sim.schedule(revoke_at, policy.revoke, provider, "alice")
+    sim.run(until=32.0)
+
+    stats = metrics.user("alice")
+    deadline = revoke_at + policy.worst_case_exposure()
+    before = sum(1 for t, _ in stats.latency_samples if t <= revoke_at)
+    grace = sum(1 for t, _ in stats.latency_samples if revoke_at < t <= deadline)
+    after = sum(1 for t, _ in stats.latency_samples if t > deadline)
+    last = max((t for t, _ in stats.latency_samples), default=0.0)
+
+    print(f"tag expiry (TE)            : {te:.0f} s")
+    print(f"revoked at                 : t={revoke_at:.0f} s")
+    print(f"chunks before revocation   : {before}")
+    print(f"chunks in the grace window : {grace}  (old tag still valid)")
+    print(f"chunks after TE elapsed    : {after}")
+    print(f"last successful retrieval  : t={last:.2f} s (deadline {deadline:.0f} s)")
+    assert after == 0, "revoked client retrieved content past the exposure window"
+    print("-> access died within one tag lifetime, with zero router/provider rework\n")
+
+
+def expiry_sweep() -> None:
+    print("== the revocation-granularity / overhead trade-off ==")
+    print(f"{'TE (s)':>8}{'tag req/s':>12}{'worst-case exposure':>22}")
+    for te in (2.0, 5.0, 10.0, 30.0):
+        scenario = Scenario.paper_topology(1, duration=15.0, seed=3, scale=0.2)
+        result = run_scenario(scenario.with_config(tag_expiry=te))
+        q, _ = result.tag_rates()
+        print(f"{te:>8.0f}{q:>12.2f}{ExpiryRevocation(te).worst_case_exposure():>20.0f} s")
+    print(
+        "-> shorter TE = faster revocation but more registration traffic\n"
+        "   (the paper: raising TE 10 -> 100 s cut tag rates to a fraction)"
+    )
+
+
+def main() -> None:
+    single_client_revocation()
+    expiry_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""tactic-repro: a reproduction of TACTIC (Tourani et al., ICDCS 2018).
+
+TACTIC is a tag-based access-control framework for the
+information-centric wireless edge: providers issue signed tags to
+registered clients, and ISP routers — not providers or clients —
+authenticate and authorize every request, using Bloom filters to cache
+validated tags so the common case costs a constant-time lookup instead
+of a signature verification.
+
+Package layout
+--------------
+``repro.sim``
+    Discrete-event simulation engine.
+``repro.crypto``
+    RSA, ChaCha20, PKI, key wrapping, computation cost model.
+``repro.filters``
+    Bloom filters (plain + counting) with saturation resets.
+``repro.ndn``
+    Named-Data Networking substrate: names, Interest/Data/NACK,
+    FIB/PIT/CS, links and forwarder nodes.
+``repro.topology``
+    Scale-free ISP topologies, including the paper's Table III presets.
+``repro.core``
+    The TACTIC protocols: tags, access paths, Protocols 1-4,
+    provider/client/attacker node logic, metrics.
+``repro.workload``
+    Zipf content popularity and windowed request drivers.
+``repro.baselines``
+    Comparison access-control schemes (client-side AC, AccConF-style
+    broadcast encryption, provider-auth AC, no-Bloom-filter ablation).
+``repro.analysis``
+    Closed-form models of the measured quantities.
+``repro.extensions``
+    The paper's future work: mobility, explicit revocation, traitor
+    tracing, negative tag caching.
+``repro.experiments``
+    Scenario runner, multi-seed sweeps, per-figure/table reproduction
+    entry points, and the ``python -m repro`` CLI.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,158 @@
+"""Command-line entry point: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table4 --topologies 1 2 --duration 20 --scale 0.25
+    python -m repro fig8 --duration 40 --scale 0.25
+    python -m repro all --duration 15 --scale 0.2
+
+Every subcommand maps to one ``repro.experiments`` reproduction module
+and prints the same rendered rows/series the benchmarks publish.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments.fig5_latency import render_fig5, reproduce_fig5
+from repro.experiments.fig6_tag_rates import render_fig6, reproduce_fig6
+from repro.experiments.fig7_operations import render_fig7, reproduce_fig7
+from repro.experiments.fig8_bf_reset import render_fig8, reproduce_fig8
+from repro.experiments.table2_comparison import render_table2, reproduce_table2
+from repro.experiments.table4_delivery import render_table4, reproduce_table4
+from repro.experiments.table5_bf_resets import render_table5, reproduce_table5
+
+
+def _run_fig5(args) -> str:
+    return render_fig5(
+        reproduce_fig5(
+            topologies=tuple(args.topologies),
+            duration=args.duration,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    )
+
+
+def _run_fig6(args) -> str:
+    return render_fig6(
+        reproduce_fig6(
+            topologies=tuple(args.topologies),
+            duration=args.duration,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    )
+
+
+def _run_fig7(args) -> str:
+    return render_fig7(
+        reproduce_fig7(
+            topologies=tuple(args.topologies),
+            duration=args.duration,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    )
+
+
+def _run_fig8(args) -> str:
+    return render_fig8(
+        reproduce_fig8(
+            topology=args.topologies[0],
+            duration=args.duration,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    )
+
+
+def _run_table2(args) -> str:
+    return render_table2(
+        reproduce_table2(
+            topology=args.topologies[0],
+            duration=args.duration,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    )
+
+
+def _run_table4(args) -> str:
+    return render_table4(
+        reproduce_table4(
+            topologies=tuple(args.topologies),
+            duration=args.duration,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    )
+
+
+def _run_table5(args) -> str:
+    return render_table5(
+        reproduce_table5(
+            topology=args.topologies[0],
+            duration=args.duration,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    )
+
+
+ARTIFACTS: Dict[str, Callable] = {
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "table2": _run_table2,
+    "table4": _run_table4,
+    "table5": _run_table5,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from the TACTIC paper (ICDCS 2018).",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all", "list"],
+        help="which paper artifact to regenerate ('all' runs every one, "
+        "'list' shows the mapping)",
+    )
+    parser.add_argument(
+        "--topologies", type=int, nargs="+", default=[1],
+        help="Table III topology indices (default: 1)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=20.0,
+        help="simulated seconds per point (paper: 2000)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="entity-count scale factor (paper: 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        for name in sorted(ARTIFACTS):
+            print(f"{name:8s} -> repro.experiments.{name}_*")
+        return 0
+    targets = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in targets:
+        print(ARTIFACTS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Analytical models of TACTIC's overheads.
+
+Closed-form counterparts to the quantities Section 8 measures by
+simulation: Bloom-filter saturation budgets and reset frequencies
+(Fig. 8 / Table V), registration load and revocation exposure
+(Fig. 6 / Table II), and the expected router verification rate under
+the F-flag collaboration (Fig. 7).  The test suite checks the
+simulator against these models, so a regression in either shows up as
+a disagreement.
+"""
+
+from repro.analysis.bloom_math import (
+    expected_resets,
+    inserts_to_saturation,
+    requests_per_reset,
+)
+from repro.analysis.cache_math import (
+    aggregate_hit_ratio,
+    characteristic_time,
+    expected_origin_load,
+    hit_ratios,
+    zipf_popularities,
+)
+from repro.analysis.overhead_math import (
+    expected_verification_probability,
+    tag_bandwidth_overhead,
+)
+from repro.analysis.revocation_math import (
+    registration_rate,
+    revocation_exposure,
+)
+
+__all__ = [
+    "aggregate_hit_ratio",
+    "characteristic_time",
+    "expected_origin_load",
+    "expected_resets",
+    "expected_verification_probability",
+    "hit_ratios",
+    "inserts_to_saturation",
+    "registration_rate",
+    "requests_per_reset",
+    "revocation_exposure",
+    "tag_bandwidth_overhead",
+    "zipf_popularities",
+]

@@ -1,0 +1,87 @@
+"""Closed-form Bloom-filter saturation models (Fig. 8 / Table V).
+
+A TACTIC router's filter is sized for ``capacity`` items at
+``sizing_fpp`` and resets when its FPP estimate reaches ``max_fpp``.
+Inverting the standard FPP formula p = (1 - e^(-k n / m))^k gives the
+insert budget between resets:
+
+    n_sat = -(m / k) * ln(1 - max_fpp^(1/k))
+
+From the workload side, inserts arrive at roughly one per fresh tag a
+router first validates, i.e. ``tags_per_second = clients_served *
+providers_touched / tag_expiry``; combining the two predicts reset
+frequency and the requests absorbed per reset — the Fig. 8 quantity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.filters.params import size_for_capacity
+
+
+def inserts_to_saturation(
+    capacity: int,
+    max_fpp: float,
+    num_hashes: int = 5,
+    sizing_fpp: float = 1e-4,
+) -> float:
+    """Inserts a filter absorbs before its FPP estimate hits ``max_fpp``.
+
+    >>> round(inserts_to_saturation(500, 1e-4))
+    500
+    >>> inserts_to_saturation(500, 1e-2) > 2.5 * inserts_to_saturation(500, 1e-4)
+    True
+    """
+    size_bits = size_for_capacity(capacity, sizing_fpp, num_hashes)
+    base = 1.0 - max_fpp ** (1.0 / num_hashes)
+    return -(size_bits / num_hashes) * math.log(base)
+
+
+def expected_resets(
+    insert_rate: float,
+    duration: float,
+    capacity: int,
+    max_fpp: float,
+    num_hashes: int = 5,
+    sizing_fpp: float = 1e-4,
+) -> float:
+    """Predicted number of saturation resets over ``duration`` seconds
+    given a steady tag-insert rate (per router)."""
+    if insert_rate <= 0 or duration <= 0:
+        return 0.0
+    budget = inserts_to_saturation(capacity, max_fpp, num_hashes, sizing_fpp)
+    return insert_rate * duration / budget
+
+
+def requests_per_reset(
+    request_rate: float,
+    insert_rate: float,
+    capacity: int,
+    max_fpp: float,
+    num_hashes: int = 5,
+    sizing_fpp: float = 1e-4,
+) -> float:
+    """The Fig. 8 quantity: requests a router receives between resets.
+
+    Requests and inserts are coupled through the workload: every
+    ``request_rate / insert_rate`` requests contribute one fresh-tag
+    insert, so the request budget is the insert budget scaled by that
+    ratio.
+    """
+    if insert_rate <= 0:
+        return math.inf
+    budget = inserts_to_saturation(capacity, max_fpp, num_hashes, sizing_fpp)
+    return budget * request_rate / insert_rate
+
+
+def tag_insert_rate(
+    clients_per_router: float,
+    providers_touched: float,
+    tag_expiry: float,
+) -> float:
+    """Steady-state fresh-tag arrivals at one router: each client
+    refreshes one tag per provider it uses every ``tag_expiry``."""
+    if tag_expiry <= 0:
+        raise ValueError("tag_expiry must be positive")
+    return clients_per_router * providers_touched / tag_expiry

@@ -1,0 +1,101 @@
+"""Che's approximation: closed-form LRU hit ratios under Zipf demand.
+
+Pervasive caching is what creates TACTIC's problem (cache hits bypass
+the provider), so the *amount* of caching matters to every measured
+quantity: origin load, latency, how often content routers (rather than
+the origin) enforce access.  Che, Tung & Wang's approximation (IEEE
+JSAC 2002) predicts an LRU cache's per-object hit probability from a
+single *characteristic time* ``T_c`` solving
+
+    C = sum_i (1 - exp(-q_i * T_c))
+
+where ``q_i`` is object ``i``'s request rate and ``C`` the cache
+capacity; then ``hit_i = 1 - exp(-q_i * T_c)``.  The tests cross-check
+these predictions against the actual :class:`~repro.ndn.cs.ContentStore`
+under a Zipf request stream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def characteristic_time(
+    popularities: Sequence[float],
+    capacity: int,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Solve Che's fixed point for ``T_c`` by bisection.
+
+    ``popularities`` are per-object request probabilities (or rates —
+    the result simply scales); ``capacity`` is the cache size in
+    objects.
+
+    >>> tc = characteristic_time([0.5, 0.3, 0.2], capacity=2)
+    >>> 0 < tc < float('inf')
+    True
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if capacity >= len(popularities):
+        return math.inf  # everything fits: every object always resident
+    total = sum(popularities)
+    if total <= 0:
+        raise ValueError("popularities must sum to a positive value")
+
+    def occupied(tc: float) -> float:
+        return sum(1.0 - math.exp(-q * tc) for q in popularities)
+
+    low, high = 0.0, 1.0
+    while occupied(high) < capacity and high < 1e18:
+        high *= 2.0
+    for _ in range(max_iterations):
+        mid = (low + high) / 2.0
+        if occupied(mid) < capacity:
+            low = mid
+        else:
+            high = mid
+        if high - low < tolerance * max(1.0, high):
+            break
+    return (low + high) / 2.0
+
+
+def hit_ratios(popularities: Sequence[float], capacity: int) -> List[float]:
+    """Per-object LRU hit probabilities under Che's approximation."""
+    tc = characteristic_time(popularities, capacity)
+    if math.isinf(tc):
+        return [1.0] * len(popularities)
+    return [1.0 - math.exp(-q * tc) for q in popularities]
+
+
+def aggregate_hit_ratio(popularities: Sequence[float], capacity: int) -> float:
+    """Request-weighted cache hit ratio.
+
+    >>> aggregate_hit_ratio([0.5, 0.3, 0.2], capacity=3)
+    1.0
+    >>> 0.0 < aggregate_hit_ratio([0.5, 0.3, 0.1, 0.05, 0.05], capacity=2) < 1.0
+    True
+    """
+    total = sum(popularities)
+    ratios = hit_ratios(popularities, capacity)
+    return sum(q * h for q, h in zip(popularities, ratios)) / total
+
+
+def zipf_popularities(num_items: int, alpha: float) -> List[float]:
+    """Normalized Zipf(alpha) probabilities, rank 1 first (matches
+    :class:`repro.workload.zipf.ZipfSampler`)."""
+    weights = [1.0 / (rank ** alpha) for rank in range(1, num_items + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def expected_origin_load(
+    request_rate: float,
+    popularities: Sequence[float],
+    capacity: int,
+) -> float:
+    """Requests/second escaping one LRU cache toward the origin —
+    the provider-load prediction caching buys TACTIC."""
+    return request_rate * (1.0 - aggregate_hit_ratio(popularities, capacity))

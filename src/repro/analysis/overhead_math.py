@@ -1,0 +1,68 @@
+"""Closed-form communication/computation overhead models (Fig. 7, Table II).
+
+The F-flag collaboration makes a content router's expected signature
+work per request a function of the edge filter's false-positive
+probability; the communication overhead is the fixed tag bytes each
+request carries.
+"""
+
+from __future__ import annotations
+
+
+def expected_verification_probability(
+    edge_fpp: float,
+    fraction_new_tags: float,
+) -> float:
+    """Probability a content router verifies a signature on one request.
+
+    Two disjoint cases trigger verification upstream:
+
+    - the request carries a tag the edge had not validated yet
+      (``fraction_new_tags``; F = 0 and the tag misses the content
+      router's filter too on first sight), or
+    - the edge vouched (F = fpp > 0) and the content router re-validates
+      with probability F — the paper's insurance against an edge
+      false positive admitting an invalid tag.
+
+    >>> expected_verification_probability(1e-4, 0.0)
+    0.0001
+    >>> expected_verification_probability(0.0, 1.0)
+    1.0
+    """
+    if not 0.0 <= edge_fpp <= 1.0:
+        raise ValueError("edge_fpp must be in [0, 1]")
+    if not 0.0 <= fraction_new_tags <= 1.0:
+        raise ValueError("fraction_new_tags must be in [0, 1]")
+    return fraction_new_tags + (1.0 - fraction_new_tags) * edge_fpp
+
+
+def tag_bandwidth_overhead(
+    tag_bytes: int,
+    interest_bytes: int,
+) -> float:
+    """Fractional request-size inflation from carrying the tag —
+    TACTIC's entire per-request communication overhead (Table II's
+    "Low": fixed-size, independent of client count and attributes).
+
+    >>> round(tag_bandwidth_overhead(200, 100), 2)
+    2.0
+    """
+    if tag_bytes < 0 or interest_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    return tag_bytes / interest_bytes
+
+
+def unauthorized_bandwidth_waste(
+    attacker_request_rate: float,
+    chunk_bytes: int,
+    delivery_ratio: float,
+    duration: float,
+) -> float:
+    """Bytes of content delivered to unauthorized users over a run —
+    the client-side-enforcement exposure TACTIC eliminates (its routers
+    hold ``delivery_ratio`` at ~0; client-side schemes sit at ~1)."""
+    if min(attacker_request_rate, chunk_bytes, duration) < 0:
+        raise ValueError("parameters must be non-negative")
+    if not 0.0 <= delivery_ratio <= 1.0:
+        raise ValueError("delivery_ratio must be in [0, 1]")
+    return attacker_request_rate * duration * delivery_ratio * chunk_bytes

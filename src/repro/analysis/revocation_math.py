@@ -1,0 +1,52 @@
+"""Closed-form revocation-cost models (Fig. 6 / Table II).
+
+TACTIC revokes by tag expiry, so the provider-side cost of supporting
+revocation is the registration traffic, and the security cost is the
+exposure window — both pure functions of the tag lifetime.
+"""
+
+from __future__ import annotations
+
+
+def registration_rate(
+    num_clients: int,
+    providers_per_client: float,
+    tag_expiry: float,
+) -> float:
+    """Steady-state tag-request rate Q (Fig. 6's main quantity).
+
+    Each client keeps one live tag per provider it consumes from and
+    refreshes it once per lifetime:
+
+    >>> registration_rate(35, 2.0, 10.0)
+    7.0
+    >>> registration_rate(35, 2.0, 100.0)
+    0.7
+    """
+    if tag_expiry <= 0:
+        raise ValueError("tag_expiry must be positive")
+    if num_clients < 0 or providers_per_client < 0:
+        raise ValueError("population parameters must be non-negative")
+    return num_clients * providers_per_client / tag_expiry
+
+
+def revocation_exposure(tag_expiry: float) -> float:
+    """Worst-case seconds a just-revoked client retains access: the
+    full lifetime of a tag issued the instant before revocation."""
+    if tag_expiry <= 0:
+        raise ValueError("tag_expiry must be positive")
+    return tag_expiry
+
+
+def revocation_cost_per_client(tag_bytes: int) -> int:
+    """Bytes of network traffic one revocation costs under TACTIC.
+
+    Zero: the provider simply refuses the next registration.  (The
+    constant the paper contrasts with content re-encryption [5], [10],
+    [11] or network-wide metadata distribution [3], [7].)  The only
+    recurring cost is the ``tag_bytes`` refresh each *surviving* client
+    pays per lifetime — returned here for overhead accounting.
+    """
+    if tag_bytes < 0:
+        raise ValueError("tag_bytes must be non-negative")
+    return tag_bytes

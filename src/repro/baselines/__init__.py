@@ -1,0 +1,42 @@
+"""Baseline access-control schemes TACTIC is compared against.
+
+Three comparators capture the design space of Table II:
+
+- :mod:`~repro.baselines.client_side` -- authorization delegated to the
+  clients themselves (the paper's [3], [5]): every request retrieves
+  the (encrypted) content, only enrolled clients can decrypt.  Shows
+  the bandwidth-waste / DDoS exposure TACTIC eliminates.
+- :mod:`~repro.baselines.provider_auth` -- an always-online provider
+  authenticates every request ([14], [16]): caching is disabled for
+  access-controlled content, so every request pays the round trip to
+  the origin plus a per-request verification there.
+- :mod:`~repro.baselines.no_bloom` -- TACTIC's router enforcement
+  without the Bloom-filter cache ([8], [10]'s router-crypto cost):
+  every validation is a signature verification.
+- :mod:`~repro.baselines.accconf` -- the broadcast-encryption /
+  Shamir-sharing framework of Misra et al. ([3], [7]): a per-packet
+  enclosure plus one private share per client; client-side decryption,
+  rekey-on-revocation.
+
+Each scheme is a :class:`~repro.baselines.interfaces.SchemeSpec` the
+experiment runner consumes; ``repro.experiments.runner.SCHEME_REGISTRY``
+maps scheme names to specs.
+"""
+
+from repro.baselines.accconf import ACCCONF_SCHEME, AccConfClient, AccConfProvider
+from repro.baselines.client_side import CLIENT_SIDE_SCHEME, PlainProvider, PlainRouter
+from repro.baselines.interfaces import SchemeSpec
+from repro.baselines.no_bloom import NO_BLOOM_SCHEME
+from repro.baselines.provider_auth import PROVIDER_AUTH_SCHEME
+
+__all__ = [
+    "ACCCONF_SCHEME",
+    "AccConfClient",
+    "AccConfProvider",
+    "CLIENT_SIDE_SCHEME",
+    "NO_BLOOM_SCHEME",
+    "PROVIDER_AUTH_SCHEME",
+    "PlainProvider",
+    "PlainRouter",
+    "SchemeSpec",
+]

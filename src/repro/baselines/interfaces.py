@@ -1,0 +1,45 @@
+"""The scheme abstraction consumed by the experiment runner.
+
+A :class:`SchemeSpec` bundles the node factories and behavioural
+switches that distinguish one access-control scheme from another, so
+the runner assembles any scheme over any topology with the same code
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.config import TacticConfig
+from repro.core.metrics import MetricsCollector
+from repro.crypto.pki import CertificateStore
+from repro.ndn.node import Node
+from repro.sim.engine import Simulator
+
+EdgeFactory = Callable[
+    [Simulator, str, TacticConfig, CertificateStore, Optional[MetricsCollector]], Node
+]
+CoreFactory = EdgeFactory
+ProviderFactory = Callable[
+    [Simulator, str, TacticConfig, CertificateStore, object], Node
+]
+ConfigTransform = Callable[[TacticConfig], TacticConfig]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Everything scheme-specific the runner needs."""
+
+    name: str
+    make_edge_router: EdgeFactory
+    make_core_router: CoreFactory
+    make_provider: ProviderFactory
+    #: Whether clients must register for tags before requesting.
+    clients_register: bool = True
+    #: Applied to the scenario config before assembly (e.g. disable
+    #: Bloom filters, disable caching).
+    config_transform: ConfigTransform = staticmethod(lambda config: config)
+    #: Client class the runner instantiates (None = the standard
+    #: :class:`repro.core.client.Client`).
+    client_factory: Optional[type] = None

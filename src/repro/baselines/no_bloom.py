@@ -1,0 +1,44 @@
+"""The no-Bloom-filter ablation.
+
+TACTIC's protocols with the tag cache removed: every content-router or
+intermediate-router validation falls back to a signature verification,
+reproducing the per-request router crypto cost the paper criticizes in
+[8], [10] ("the fact that the intermediate routers have to perform
+cryptographic operations undermines the practicality of these
+approaches").  Comparing this ablation against full TACTIC isolates
+exactly what the Bloom-filter collaboration buys.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interfaces import SchemeSpec
+from repro.core.config import TacticConfig
+from repro.core.core_router import CoreRouter
+from repro.core.edge_router import EdgeRouter
+from repro.core.provider import Provider
+
+
+def _make_edge(sim, node_id, config, cert_store, metrics=None) -> EdgeRouter:
+    return EdgeRouter(sim, node_id, config, cert_store, metrics)
+
+
+def _make_core(sim, node_id, config, cert_store, metrics=None) -> CoreRouter:
+    return CoreRouter(sim, node_id, config, cert_store, metrics)
+
+
+def _make_provider(sim, node_id, config, cert_store, keypair) -> Provider:
+    return Provider(sim, node_id, config, cert_store, keypair)
+
+
+def _disable_bloom(config: TacticConfig) -> TacticConfig:
+    return config.with_(use_bloom_filters=False)
+
+
+NO_BLOOM_SCHEME = SchemeSpec(
+    name="no_bloom",
+    make_edge_router=_make_edge,
+    make_core_router=_make_core,
+    make_provider=_make_provider,
+    clients_register=True,
+    config_transform=_disable_bloom,
+)

@@ -1,0 +1,42 @@
+"""Always-online provider authentication (the paper's [14], [16] class).
+
+The provider authenticates and authorizes every request itself.  Two
+consequences the paper highlights: access-controlled content cannot be
+served from caches (a cache hit would bypass the provider), and every
+request pays a verification at the origin — so the origin must be
+always online and becomes the bottleneck.
+
+Modelled as plain NDN routers with content caching disabled plus the
+standard TACTIC provider, whose Protocol 3 origin-side validation runs
+with Bloom filters off (every request verifies the tag signature,
+mirroring per-request token validation in [16]).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.client_side import make_plain_core, make_plain_edge
+from repro.baselines.interfaces import SchemeSpec
+from repro.core.config import TacticConfig
+from repro.core.provider import Provider
+
+
+def make_auth_provider(sim, node_id, config, cert_store, keypair) -> Provider:
+    return Provider(sim, node_id, config, cert_store, keypair)
+
+
+def _disable_caching(config: TacticConfig) -> TacticConfig:
+    return config.with_(
+        cs_capacity=0,
+        edge_cs_capacity=0,
+        use_bloom_filters=False,
+    )
+
+
+PROVIDER_AUTH_SCHEME = SchemeSpec(
+    name="provider_auth",
+    make_edge_router=make_plain_edge,
+    make_core_router=make_plain_core,
+    make_provider=make_auth_provider,
+    clients_register=True,
+    config_transform=_disable_caching,
+)

@@ -1,0 +1,56 @@
+"""TACTIC's core protocols.
+
+Everything Section 4-5 of the paper describes lives here:
+
+- :mod:`~repro.core.tag` -- the signed 6-tuple authentication tag,
+- :mod:`~repro.core.access_level` -- the hierarchical access-level model,
+- :mod:`~repro.core.access_path` -- the rolling XOR-of-hashed-identities
+  location binding,
+- :mod:`~repro.core.precheck` -- Protocol 1 (cheap field checks before
+  Bloom-filter and signature work),
+- :mod:`~repro.core.edge_router` -- Protocol 2,
+- :mod:`~repro.core.content_router` / :mod:`~repro.core.intermediate_router`
+  -- Protocols 3 and 4 (a :class:`~repro.core.core_router.CoreRouter`
+  plays whichever role its content store dictates per request),
+- :mod:`~repro.core.provider` -- registration, tag issuance, publishing,
+- :mod:`~repro.core.client` / :mod:`~repro.core.attacker` -- the user
+  population from the threat model,
+- :mod:`~repro.core.revocation` -- expiry-based revocation,
+- :mod:`~repro.core.config` / :mod:`~repro.core.metrics` -- knobs and
+  measurement.
+"""
+
+from repro.core.access_level import PUBLIC, satisfies
+from repro.core.access_path import expected_access_path
+from repro.core.attacker import Attacker, AttackerMode
+from repro.core.client import Client
+from repro.core.config import TacticConfig
+from repro.core.core_router import CoreRouter
+from repro.core.edge_router import EdgeRouter
+from repro.core.metrics import MetricsCollector, OpCounters, UserStats
+from repro.core.precheck import content_precheck, edge_precheck
+from repro.core.provider import ClientDirectory, ContentObject, Provider
+from repro.core.revocation import ExpiryRevocation
+from repro.core.tag import Tag
+
+__all__ = [
+    "Attacker",
+    "AttackerMode",
+    "Client",
+    "ClientDirectory",
+    "ContentObject",
+    "CoreRouter",
+    "EdgeRouter",
+    "ExpiryRevocation",
+    "MetricsCollector",
+    "OpCounters",
+    "PUBLIC",
+    "Provider",
+    "Tag",
+    "TacticConfig",
+    "UserStats",
+    "content_precheck",
+    "edge_precheck",
+    "expected_access_path",
+    "satisfies",
+]

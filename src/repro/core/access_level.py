@@ -1,0 +1,52 @@
+"""The hierarchical access-level model (Section 5).
+
+The paper: "We envision a hierarchical access level model in which
+tags with higher access levels can retrieve content with lower access
+levels (ALD <= ALTu)" and "We set the ALD (of a publicly available
+data) to NULL, which allows an rcC to return the requested content
+without tag verification."
+
+Levels are small non-negative integers; ``None`` (aliased
+:data:`PUBLIC`) marks public content.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Access level of publicly available content: no tag needed.
+PUBLIC: Optional[int] = None
+
+
+def satisfies(tag_level: Optional[int], content_level: Optional[int]) -> bool:
+    """True when a tag at ``tag_level`` may retrieve ``content_level`` data.
+
+    Public content (``content_level is None``) is retrievable by anyone,
+    including requesters with no tag (``tag_level is None``).  Private
+    content requires a tag whose level dominates the content's
+    (``ALD <= ALTu``).
+
+    >>> satisfies(2, 1)
+    True
+    >>> satisfies(1, 2)
+    False
+    >>> satisfies(None, None)
+    True
+    >>> satisfies(None, 1)
+    False
+    """
+    if content_level is None:
+        return True
+    if tag_level is None:
+        return False
+    return content_level <= tag_level
+
+
+def validate_level(level: Optional[int]) -> Optional[int]:
+    """Normalize and validate a level value (None or int >= 0)."""
+    if level is None:
+        return None
+    level = int(level)
+    if level < 0:
+        raise ValueError(f"access level must be >= 0, got {level}")
+    return level

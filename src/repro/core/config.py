@@ -1,0 +1,129 @@
+"""Configuration for TACTIC simulations.
+
+One dataclass gathers every knob the paper's evaluation sweeps
+(Bloom-filter capacity and maximum FPP, tag expiry, topology and
+workload parameters) plus reproduction-specific switches (signature
+scheme, access-path enforcement).  Defaults reproduce the paper's base
+configuration: BF capacity 500 at FPP 1e-4 with 5 hashes, 10 s tag
+expiry, Zipf alpha = 0.7, request window 5, 50 objects x 50 chunks per
+provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.crypto.cost_model import ComputationCostModel, PAPER_COST_MODEL
+
+
+@dataclass
+class TacticConfig:
+    """All simulation knobs in one place."""
+
+    # --- Bloom filters (Section 8.A) ---
+    bf_capacity: int = 500
+    #: Saturation (reset) threshold — the FPP lever Fig. 8 sweeps.
+    bf_max_fpp: float = 1e-4
+    bf_num_hashes: int = 5
+    #: Reference FPP the bit count is derived from (fixed, so sweeping
+    #: ``bf_max_fpp`` changes the reset threshold, not the filter size).
+    bf_sizing_fpp: float = 1e-4
+
+    # --- Tags / revocation ---
+    tag_expiry: float = 10.0
+    #: Enforce the access-path location binding at edge routers.  The
+    #: paper's own simulations left this off; see access_path module.
+    enable_access_path: bool = True
+    #: The alternative client-authentication mode the access path was
+    #: designed to avoid (Section 4.A): clients sign every request and
+    #: edge routers verify against the ``Pubu`` locator in the tag —
+    #: "the expensive signature verification".
+    client_signatures: bool = False
+
+    # --- Signature scheme: 'simulated' (HMAC, fast) or 'rsa' (real) ---
+    signature_scheme: str = "simulated"
+    rsa_bits: int = 512
+
+    #: Bloom-filter tag caching at routers.  Disabling it is the no-BF
+    #: ablation baseline: every content/intermediate validation falls
+    #: back to a signature verification.
+    use_bloom_filters: bool = True
+
+    #: The paper's design choice that a rejection still carries the
+    #: content downstream ("rcC returns the content D even if Tu is
+    #: invalid ... to satisfy other possible valid aggregated requests").
+    #: False is the drop-only ablation: invalid tags elicit nothing, and
+    #: valid requests aggregated behind them starve until timeout.
+    nack_carries_content: bool = True
+
+    # --- Content catalog (Section 8.A "Content Producer Setup") ---
+    objects_per_provider: int = 50
+    chunks_per_object: int = 50
+    chunk_size_bytes: int = 1024
+    #: Distinct private access levels contents draw from (uniformly).
+    num_access_levels: int = 3
+    #: Fraction of objects published as public (ALD = NULL).
+    public_fraction: float = 0.0
+    #: Encrypt chunk payloads with ChaCha20 (exercises the full crypto
+    #: path; off by default for speed — sizes are modelled either way).
+    encrypt_payloads: bool = False
+    #: Publish a signed FLIC-style manifest per object (at
+    #: ``<object>/manifest``) so consumers can hash-verify every chunk
+    #: against one provider signature.
+    publish_manifests: bool = False
+
+    # --- Client / attacker workload (Section 8.A) ---
+    window_size: int = 5
+    request_lifetime: float = 1.0
+    #: Times a client re-sends an expired request before giving the
+    #: window slot up (0 = paper-faithful: expiry frees the slot).
+    max_retransmissions: int = 0
+    zipf_alpha: float = 0.7
+    #: Per-request think time drawn uniformly in [0, think_time_max];
+    #: keeps clients from phase-locking.
+    think_time_max: float = 0.01
+    #: Independent per-packet loss probability on *wireless-edge* links
+    #: (client-AP-edge); models fading/interference.  0 = lossless.
+    edge_loss_rate: float = 0.0
+
+    # --- Router tables ---
+    cs_capacity: int = 4096
+    #: Content-store eviction policy: 'lru' (ndnSIM default) | 'fifo' | 'lfu'.
+    cs_policy: str = "lru"
+    pit_lifetime: float = 2.0
+    #: Maximum simultaneous PIT entries per router (0 = unlimited); the
+    #: interest-flooding backstop.
+    pit_capacity: int = 0
+    #: Edge routers do not cache (content routers are core routers).
+    edge_cs_capacity: int = 0
+
+    # --- Computation latency model ---
+    cost_model: ComputationCostModel = field(default_factory=lambda: PAPER_COST_MODEL)
+
+    # --- Simulation ---
+    duration: float = 50.0
+    #: Extra virtual time after ``duration`` during which no new
+    #: requests are issued but in-flight ones may complete, so delivery
+    #: ratios are not depressed by the cutoff.
+    drain_time: float = 2.0
+    seed: int = 1
+
+    def with_(self, **overrides) -> "TacticConfig":
+        """Functional update; returns a modified copy."""
+        return replace(self, **overrides)
+
+    def validate(self) -> None:
+        if self.bf_capacity <= 0:
+            raise ValueError("bf_capacity must be positive")
+        if not 0.0 < self.bf_max_fpp < 1.0:
+            raise ValueError("bf_max_fpp must be in (0, 1)")
+        if self.tag_expiry <= 0:
+            raise ValueError("tag_expiry must be positive")
+        if self.signature_scheme not in ("simulated", "rsa"):
+            raise ValueError(f"unknown signature scheme {self.signature_scheme!r}")
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if not 0.0 <= self.public_fraction <= 1.0:
+            raise ValueError("public_fraction must be in [0, 1]")
+        if self.cs_policy not in ("lru", "fifo", "lfu"):
+            raise ValueError(f"unknown cs_policy {self.cs_policy!r}")

@@ -1,0 +1,59 @@
+"""Cryptographic substrate for the TACTIC reproduction.
+
+The paper assumes providers sign tags with public-key signatures,
+contents are encrypted, and a PKI distributes provider certificates to
+routers.  This package builds those pieces from scratch:
+
+- :mod:`~repro.crypto.rsa` -- RSA key generation (Miller-Rabin), signing
+  and verification over SHA-256 digests,
+- :mod:`~repro.crypto.chacha20` -- the ChaCha20 stream cipher for
+  content encryption,
+- :mod:`~repro.crypto.sim_signature` -- an HMAC-backed *simulated*
+  signature scheme with identical semantics but negligible cost, for
+  large simulation runs,
+- :mod:`~repro.crypto.pki` -- certificate store keyed by public key
+  locators,
+- :mod:`~repro.crypto.keywrap` -- wrapping content keys under client
+  public keys (the paper's "provider encrypts the content decryption
+  key with the client's public key"),
+- :mod:`~repro.crypto.cost_model` -- latency distributions for
+  computation-based events, defaulting to the paper's benchmarked
+  values (Section 8.B).
+"""
+
+from repro.crypto.chacha20 import ChaCha20, chacha20_decrypt, chacha20_encrypt
+from repro.crypto.cost_model import ComputationCostModel, OpCost, PAPER_COST_MODEL
+from repro.crypto.hashing import (
+    entity_identity_hash,
+    rolling_xor_hash,
+    sha256,
+    sha256_int,
+)
+from repro.crypto.keywrap import KeyWrapError, unwrap_key, wrap_key
+from repro.crypto.pki import Certificate, CertificateStore, PkiError
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.crypto.sim_signature import SimulatedKeyPair, SimulatedPublicKey
+
+__all__ = [
+    "Certificate",
+    "CertificateStore",
+    "ChaCha20",
+    "ComputationCostModel",
+    "KeyWrapError",
+    "OpCost",
+    "PAPER_COST_MODEL",
+    "PkiError",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "SimulatedKeyPair",
+    "SimulatedPublicKey",
+    "chacha20_decrypt",
+    "chacha20_encrypt",
+    "entity_identity_hash",
+    "generate_keypair",
+    "rolling_xor_hash",
+    "sha256",
+    "sha256_int",
+    "unwrap_key",
+    "wrap_key",
+]

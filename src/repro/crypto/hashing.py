@@ -1,0 +1,57 @@
+"""Hashing utilities shared across the crypto and core packages."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+Bytesish = Union[bytes, bytearray, str]
+
+DIGEST_SIZE = 32  # SHA-256
+
+
+def _as_bytes(data: Bytesish) -> bytes:
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    return bytes(data)
+
+
+def sha256(data: Bytesish) -> bytes:
+    """SHA-256 digest of ``data`` (strings are UTF-8 encoded)."""
+    return hashlib.sha256(_as_bytes(data)).digest()
+
+
+def sha256_int(data: Bytesish) -> int:
+    """SHA-256 digest interpreted as a big-endian integer."""
+    return int.from_bytes(sha256(data), "big")
+
+
+def entity_identity_hash(identity: Bytesish) -> bytes:
+    """Hash of a network entity's identity, used in access paths.
+
+    The paper defines the access path as "the XOR of the hashed identity
+    of all network entities between u and rE"; this is the per-entity
+    hash being XOR-folded.
+    """
+    return sha256(_as_bytes(identity))
+
+
+def rolling_xor_hash(identities: Iterable[Bytesish]) -> bytes:
+    """XOR-fold the identity hashes of a path of network entities.
+
+    An empty path yields the all-zero digest, matching a client directly
+    attached to its edge router (no intermediate entities).
+    """
+    acc = bytearray(DIGEST_SIZE)
+    for identity in identities:
+        digest = entity_identity_hash(identity)
+        for i in range(DIGEST_SIZE):
+            acc[i] ^= digest[i]
+    return bytes(acc)
+
+
+def xor_fold(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings (helper for incremental paths)."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))

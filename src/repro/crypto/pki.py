@@ -1,0 +1,84 @@
+"""Public key infrastructure: certificates and a router-side store.
+
+The paper assumes "the existence of a public key infrastructure (PKI)
+by which routers store the providers' public keys and certificates".
+A *public key locator* is "a name that points to a packet that contains
+the public key or/and its digest"; routers resolve locators through
+this store when validating tag signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+class PkiError(Exception):
+    """Raised for unknown locators or conflicting registrations."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Binds a key locator (an NDN-style name string) to a public key.
+
+    ``subject`` is a human-readable owner label; ``issued_at`` /
+    ``expires_at`` are virtual-time bounds (``None`` = unbounded, which
+    providers use since the paper revokes *clients*, not providers).
+    """
+
+    locator: str
+    public_key: Any  # RsaPublicKey or SimulatedPublicKey (duck-typed)
+    subject: str = ""
+    issued_at: float = 0.0
+    expires_at: Optional[float] = None
+
+    def is_valid_at(self, now: float) -> bool:
+        if now < self.issued_at:
+            return False
+        return self.expires_at is None or now <= self.expires_at
+
+
+class CertificateStore:
+    """Locator -> certificate map shared by routers in one trust domain.
+
+    The paper argues the universe of access-controlled providers "would
+    potentially number in a few thousands", so a flat in-memory map per
+    router (or shared per ISP) is faithful and scalable.
+    """
+
+    def __init__(self) -> None:
+        self._certs: Dict[str, Certificate] = {}
+
+    def __len__(self) -> int:
+        return len(self._certs)
+
+    def __contains__(self, locator: str) -> bool:
+        return locator in self._certs
+
+    def register(self, cert: Certificate, overwrite: bool = False) -> None:
+        existing = self._certs.get(cert.locator)
+        if existing is not None and not overwrite:
+            if existing.public_key != cert.public_key:
+                raise PkiError(f"conflicting certificate for locator {cert.locator!r}")
+            return
+        self._certs[cert.locator] = cert
+
+    def lookup(self, locator: str) -> Certificate:
+        cert = self._certs.get(locator)
+        if cert is None:
+            raise PkiError(f"no certificate for locator {locator!r}")
+        return cert
+
+    def get_public_key(self, locator: str, now: float = 0.0) -> Any:
+        """Resolve a locator to a public key, checking validity."""
+        cert = self.lookup(locator)
+        if not cert.is_valid_at(now):
+            raise PkiError(f"certificate for {locator!r} not valid at t={now}")
+        return cert.public_key
+
+    def try_get_public_key(self, locator: str, now: float = 0.0) -> Optional[Any]:
+        """Like :meth:`get_public_key` but returns None on any failure."""
+        try:
+            return self.get_public_key(locator, now)
+        except PkiError:
+            return None

@@ -1,0 +1,201 @@
+"""Shamir secret sharing over a prime field.
+
+Substrate for the AccConF-style baseline (:mod:`repro.baselines.accconf`):
+the paper's references [3]/[7] build client-side access control on
+broadcast encryption "which leverages Shamir's secret sharing".
+
+A secret ``s`` is split into shares of a random degree-(t-1) polynomial
+``f`` with ``f(0) = s``; any ``t`` distinct shares reconstruct ``s`` by
+Lagrange interpolation at zero, and fewer than ``t`` reveal nothing.
+
+The field is GF(p) for the 256-bit prime ``2^256 - 189`` so shares can
+carry SHA-256-sized secrets directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: 2**256 - 189, the largest 256-bit prime.
+PRIME_256 = 2**256 - 189
+
+
+@dataclass(frozen=True)
+class Share:
+    """One evaluation point ``(x, f(x))`` of the sharing polynomial."""
+
+    x: int
+    y: int
+
+
+def _eval_poly(coeffs: Sequence[int], x: int, prime: int) -> int:
+    """Horner evaluation of ``coeffs[0] + coeffs[1] x + ...`` mod prime."""
+    acc = 0
+    for coeff in reversed(coeffs):
+        acc = (acc * x + coeff) % prime
+    return acc
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: Optional[random.Random] = None,
+    prime: int = PRIME_256,
+) -> List[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    >>> rng = random.Random(1)
+    >>> shares = split_secret(12345, threshold=3, num_shares=5, rng=rng)
+    >>> recover_secret(shares[:3])
+    12345
+    >>> recover_secret(shares[2:5])
+    12345
+    """
+    if not 0 <= secret < prime:
+        raise ValueError("secret out of field range")
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    if num_shares < threshold:
+        raise ValueError("need at least `threshold` shares")
+    rng = rng or random.Random()
+    coeffs = [secret] + [rng.randrange(prime) for _ in range(threshold - 1)]
+    return [Share(x=x, y=_eval_poly(coeffs, x, prime)) for x in range(1, num_shares + 1)]
+
+
+def share_at(
+    secret: int,
+    threshold: int,
+    x: int,
+    rng: random.Random,
+    prime: int = PRIME_256,
+) -> Share:
+    """Deterministically sample one share at abscissa ``x`` (the caller
+    owns polynomial consistency by passing the same seeded ``rng`` state
+    via :func:`split_secret` in practice; exposed for tests)."""
+    coeffs = [secret] + [rng.randrange(prime) for _ in range(threshold - 1)]
+    return Share(x=x, y=_eval_poly(coeffs, x, prime))
+
+
+def recover_secret(shares: Iterable[Share], prime: int = PRIME_256) -> int:
+    """Lagrange interpolation at zero.
+
+    Raises on duplicate abscissae; with fewer shares than the original
+    threshold the result is simply wrong (information-theoretically
+    uniform), which callers detect by key-verification failure.
+    """
+    shares = list(shares)
+    if not shares:
+        raise ValueError("no shares given")
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share abscissae")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator, denominator = 1, 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.x)) % prime
+            denominator = (denominator * (share_i.x - share_j.x)) % prime
+        lagrange = numerator * pow(denominator, -1, prime)
+        secret = (secret + share_i.y * lagrange) % prime
+    return secret
+
+
+class BroadcastEnclosure:
+    """AccConF-style broadcast-encryption enclosure.
+
+    The provider holds a (t, n) sharing of the content key.  Each
+    enrolled client privately receives **one** share.  The *enclosure*
+    published alongside the content carries ``t - 1`` further shares:
+    any single enrolled client combines its private share with the
+    enclosure to reach the threshold and recover the key, while an
+    outsider holds only ``t - 1`` shares and learns nothing.
+
+    Revocation re-shares with a fresh polynomial and redistributes
+    private shares to the *remaining* clients — the expensive rekeying
+    the paper contrasts TACTIC's tag expiry against.
+    """
+
+    def __init__(
+        self,
+        secret: int,
+        threshold: int = 3,
+        rng: Optional[random.Random] = None,
+        prime: int = PRIME_256,
+    ) -> None:
+        if threshold < 2:
+            raise ValueError("threshold must be >= 2 for a non-trivial enclosure")
+        self.secret = secret
+        self.threshold = threshold
+        self.prime = prime
+        self.rng = rng or random.Random()
+        self.generation = 0
+        self._client_shares: Dict[str, Share] = {}
+        self._public_shares: List[Share] = []
+        self._next_x = 1
+        self._reshare(clients=[])
+
+    # ------------------------------------------------------------------
+    # Provider side
+    # ------------------------------------------------------------------
+    def _reshare(self, clients: Iterable[str]) -> None:
+        clients = list(clients)
+        self.generation += 1
+        coeffs = [self.secret] + [
+            self.rng.randrange(self.prime) for _ in range(self.threshold - 1)
+        ]
+        self._coeffs = coeffs
+        # Public enclosure: t - 1 shares at reserved negative-side xs
+        # (use a distinct abscissa range from client shares).
+        self._public_shares = [
+            Share(x=x, y=_eval_poly(coeffs, x, self.prime))
+            for x in range(10**6, 10**6 + self.threshold - 1)
+        ]
+        self._client_shares = {}
+        self._next_x = 1
+        for client in clients:
+            self._issue(client)
+
+    def _issue(self, client_id: str) -> Share:
+        share = Share(
+            x=self._next_x, y=_eval_poly(self._coeffs, self._next_x, self.prime)
+        )
+        self._next_x += 1
+        self._client_shares[client_id] = share
+        return share
+
+    def enroll(self, client_id: str) -> Share:
+        """Give ``client_id`` its private share (idempotent)."""
+        existing = self._client_shares.get(client_id)
+        if existing is not None:
+            return existing
+        return self._issue(client_id)
+
+    def revoke(self, client_id: str) -> Dict[str, Share]:
+        """Remove a client: re-share and return the fresh private shares
+        every surviving client must now be sent (the rekey cost)."""
+        survivors = [c for c in self._client_shares if c != client_id]
+        self._reshare(survivors)
+        return dict(self._client_shares)
+
+    @property
+    def enclosure(self) -> List[Share]:
+        """The public shares published with the content."""
+        return list(self._public_shares)
+
+    def share_of(self, client_id: str) -> Optional[Share]:
+        return self._client_shares.get(client_id)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    @staticmethod
+    def combine(private_share: Share, enclosure: Sequence[Share],
+                prime: int = PRIME_256) -> int:
+        """Recover the content key from one private share + the enclosure."""
+        return recover_secret([private_share, *enclosure], prime=prime)

@@ -1,0 +1,83 @@
+"""HMAC-backed *simulated* signatures for large simulation runs.
+
+Real RSA keygen and signing in pure Python dominate runtime when a
+topology provisions hundreds of clients that re-register every 10
+seconds.  Inside a simulation we only need the *semantics* of a
+signature — unforgeability by parties that do not hold the signing key,
+and deterministic verify — not interoperability.  A keyed HMAC gives
+exactly that: the "public key" carries an opaque fingerprint, the
+verifier consults a process-local registry mapping fingerprints to MAC
+keys (standing in for the PKI having distributed certificates), and an
+attacker who fabricates bytes fails verification with overwhelming
+probability.
+
+The scheme implements the same duck-typed interface as
+:class:`repro.crypto.rsa.RsaKeyPair` / ``RsaPublicKey`` (``sign``,
+``verify``, ``fingerprint``) so protocol code is agnostic; select the
+scheme via :class:`repro.core.config.TacticConfig`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# Process-local stand-in for "routers hold provider certificates":
+# fingerprint -> MAC key.  Verification without a registered key fails.
+_KEY_REGISTRY: Dict[bytes, bytes] = {}
+
+
+def reset_registry() -> None:
+    """Clear the simulated-PKI registry (used between test runs)."""
+    _KEY_REGISTRY.clear()
+
+
+@dataclass(frozen=True)
+class SimulatedPublicKey:
+    """Verification handle: a fingerprint resolvable via the registry."""
+
+    fp: bytes
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        key = _KEY_REGISTRY.get(self.fp)
+        if key is None:
+            return False
+        expected = hmac.new(key, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature)
+
+    def fingerprint(self) -> bytes:
+        return self.fp
+
+    @property
+    def byte_length(self) -> int:
+        return 32
+
+
+@dataclass(frozen=True)
+class SimulatedKeyPair:
+    """Signing handle holding the MAC key."""
+
+    mac_key: bytes
+    fp: bytes = field(default=b"")
+
+    @staticmethod
+    def generate(rng: Optional[random.Random] = None) -> "SimulatedKeyPair":
+        rng = rng or random.Random()
+        mac_key = rng.getrandbits(256).to_bytes(32, "big")
+        fp = hashlib.sha256(b"simkey:" + mac_key).digest()
+        _KEY_REGISTRY[fp] = mac_key
+        return SimulatedKeyPair(mac_key=mac_key, fp=fp)
+
+    @property
+    def public(self) -> SimulatedPublicKey:
+        return SimulatedPublicKey(fp=self.fp)
+
+    @property
+    def byte_length(self) -> int:
+        return 32
+
+    def sign(self, message: bytes) -> bytes:
+        return hmac.new(self.mac_key, message, hashlib.sha256).digest()

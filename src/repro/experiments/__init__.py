@@ -1,0 +1,37 @@
+"""Experiment harness: scenarios, the runner, and per-artifact modules.
+
+One module per paper artifact regenerates its rows/series:
+
+==========  ====================================================
+Artifact    Module
+==========  ====================================================
+Fig. 5      :mod:`repro.experiments.fig5_latency`
+Fig. 6      :mod:`repro.experiments.fig6_tag_rates`
+Fig. 7      :mod:`repro.experiments.fig7_operations`
+Fig. 8      :mod:`repro.experiments.fig8_bf_reset`
+Table II    :mod:`repro.experiments.table2_comparison`
+Table IV    :mod:`repro.experiments.table4_delivery`
+Table V     :mod:`repro.experiments.table5_bf_resets`
+==========  ====================================================
+"""
+
+from repro.experiments.runner import (
+    RunResult,
+    SCHEME_REGISTRY,
+    build_assembly,
+    run_scenario,
+)
+from repro.experiments.scenario import Scenario
+from repro.experiments.sweeps import SweepSpec, aggregate, render_sweep, run_sweep
+
+__all__ = [
+    "RunResult",
+    "SCHEME_REGISTRY",
+    "Scenario",
+    "SweepSpec",
+    "aggregate",
+    "build_assembly",
+    "render_sweep",
+    "run_scenario",
+    "run_sweep",
+]

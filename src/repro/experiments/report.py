@@ -1,0 +1,75 @@
+"""Plain-text rendering of reproduced tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(['a', 'b'], [[1, 2.5], [30, 4]]))
+    a   | b
+    ----+----
+    1   | 2.5
+    30  | 4
+    """
+    formatted_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i] + 1) for i, h in enumerate(headers)).rstrip())
+    lines.append("-+-".join("-" * (widths[i] + 1) for i in range(len(headers))))
+    for row in formatted_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i] + 1) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    label: str = "",
+    max_points: int = 20,
+) -> str:
+    """Render an (x, y) series as aligned columns, downsampled evenly."""
+    if not series:
+        return f"{label}: (empty series)"
+    step = max(1, len(series) // max_points)
+    sampled = list(series[::step])
+    if sampled[-1] != series[-1]:
+        sampled.append(series[-1])
+    lines = [label] if label else []
+    for x, y in sampled:
+        lines.append(f"  {x:>10.2f}  {y:.6g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A unicode sparkline, for quick visual shape checks in terminals."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    step = max(1, len(values) // width)
+    sampled = list(values[::step])
+    low, high = min(sampled), max(sampled)
+    span = (high - low) or 1.0
+    return "".join(blocks[int((v - low) / span * (len(blocks) - 1))] for v in sampled)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,38 @@
+"""Extensions beyond the paper's evaluated system.
+
+The paper's Sections 4.A, 6, and 8 sketch three directions it defers:
+
+- **mobility** ("A mobile client needs to request a new tag every time
+  she moves to a new location"; testing "under nodes mobility" is named
+  future work) — :mod:`repro.extensions.mobility`;
+- **explicit revocation** faster than tag expiry, enabled by counting
+  Bloom filters plus a router-side blacklist —
+  :mod:`repro.extensions.explicit_revocation`;
+- **traitor tracing** ("we plan to augment our mechanism with a traitor
+  tracing feature for preventing the clients from sharing their tags")
+  — :mod:`repro.extensions.traitor_tracing`.
+
+Each extension is opt-in and layered on the core protocol classes; the
+core reproduction never depends on this package.
+"""
+
+from repro.extensions.explicit_revocation import (
+    RevocableCoreRouter,
+    RevocableEdgeRouter,
+    RevocationAuthority,
+)
+from repro.extensions.mobility import MobileClient, MobilityManager
+from repro.extensions.negative_cache import HardenedEdgeRouter, NegativeTagCache
+from repro.extensions.traitor_tracing import TraitorDetector, TracingEdgeRouter
+
+__all__ = [
+    "HardenedEdgeRouter",
+    "MobileClient",
+    "MobilityManager",
+    "NegativeTagCache",
+    "RevocableCoreRouter",
+    "RevocableEdgeRouter",
+    "RevocationAuthority",
+    "TracingEdgeRouter",
+    "TraitorDetector",
+]

@@ -1,0 +1,137 @@
+"""Client mobility: handover between access points.
+
+Section 4.A binds every tag to the client's access path, so "a mobile
+client needs to request a new tag every time she moves to a new
+location".  :class:`MobileClient` owns faces to several access points
+but listens on one at a time; :meth:`migrate` switches the active
+attachment, invalidates the now-mislocated tags, and lets the normal
+registration machinery obtain fresh ones.  :class:`MobilityManager`
+drives periodic handovers for a population.
+
+The modelling choice: links to former access points stay up (radio
+range is not simulated) but the client ignores traffic arriving on
+inactive faces, so in-flight responses addressed to the old location
+are lost exactly as they would be on a real handover.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.client import Client
+from repro.ndn.link import Face
+from repro.ndn.packets import Data, Nack
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class MobilityStats:
+    """Handover accounting for one mobile client."""
+
+    migrations: int = 0
+    tags_invalidated: int = 0
+    responses_lost_in_handover: int = 0
+    migration_times: List[float] = field(default_factory=list)
+
+
+class MobileClient(Client):
+    """A client that hands over between access points.
+
+    Connect it to every candidate AP (order defines face indices), then
+    call :meth:`migrate` — directly or via :class:`MobilityManager`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._active_face_index = 0
+        self.mobility = MobilityStats()
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    @property
+    def uplink(self) -> Face:
+        return self.faces[self._active_face_index]
+
+    @property
+    def active_face_index(self) -> int:
+        return self._active_face_index
+
+    def migrate(self, face_index: int) -> None:
+        """Hand over to the AP behind ``faces[face_index]``.
+
+        Tags bind the old location's access path, so they are dropped;
+        the pump re-registers before the next request.  Outstanding
+        requests are left to their 1 s expiry (their responses, if any,
+        arrive at the old attachment and are discarded).
+        """
+        if not 0 <= face_index < len(self.faces):
+            raise IndexError(f"no face {face_index} (have {len(self.faces)})")
+        if face_index == self._active_face_index:
+            return
+        self._active_face_index = face_index
+        self.mobility.migrations += 1
+        self.mobility.migration_times.append(self.sim.now)
+        self.mobility.tags_invalidated += len(self.tags)
+        self.tags.clear()
+        # Any in-flight registration was addressed from the old location.
+        for pending in self._registration_pending.values():
+            pending.timeout_event.cancel()
+        self._registration_pending.clear()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Traffic on inactive faces is gone with the old attachment
+    # ------------------------------------------------------------------
+    def on_data(self, data: Data, in_face: Face) -> None:
+        if in_face is not self.uplink:
+            self.mobility.responses_lost_in_handover += 1
+            return
+        super().on_data(data, in_face)
+
+    def on_nack(self, nack: Nack, in_face: Face) -> None:
+        if in_face is not self.uplink:
+            self.mobility.responses_lost_in_handover += 1
+            return
+        super().on_nack(nack, in_face)
+
+
+class MobilityManager:
+    """Schedules periodic handovers for a set of mobile clients.
+
+    Each client moves to a uniformly random *other* attachment every
+    ``interval`` seconds (jittered per client so handovers do not
+    synchronize).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clients: List[MobileClient],
+        interval: float,
+        until: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.clients = clients
+        self.interval = interval
+        self.until = until
+        self.rng = rng or sim.rng.stream("mobility")
+        for client in clients:
+            first = self.rng.uniform(0.5 * interval, 1.5 * interval)
+            sim.schedule(first, self._move, client)
+
+    def _move(self, client: MobileClient) -> None:
+        if self.sim.now >= self.until:
+            return
+        if len(client.faces) > 1:
+            choices = [
+                i for i in range(len(client.faces)) if i != client.active_face_index
+            ]
+            client.migrate(self.rng.choice(choices))
+        next_in = self.rng.uniform(0.5 * self.interval, 1.5 * self.interval)
+        self.sim.schedule(next_in, self._move, client)

@@ -1,0 +1,122 @@
+"""Negative tag caching: edge-side DoS hardening.
+
+Under stock TACTIC, a request carrying a *well-formed but forged* tag
+passes the edge pre-check every time (the fields are fine), travels to
+a content router, fails signature verification there, and elicits a
+content+NACK — on every single attempt.  A flooding attacker thus
+converts its cheap request stream into repeated upstream traffic and
+router crypto.
+
+The negative cache closes that amplification: when the edge learns a
+tag is invalid (a NACK comes back naming it, or the edge's own
+aggregated-tag validation fails), it remembers the tag's cache key for
+a TTL and drops repeat requests on arrival.  Memory is bounded (LRU)
+and poisoning is impossible — only *validation outcomes* are cached,
+never unverified claims, and a false positive cannot occur because
+keys are exact (SHA-256), not probabilistic.
+
+The TTL matters: entries must not outlive the tag itself, or a client
+that lets its tag expire, gets NACKed once, and re-registers could be
+shadow-banned.  Keys are therefore remembered for
+``min(ttl, remaining tag lifetime)`` where known.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.edge_router import EdgeRouter
+from repro.ndn.link import Face
+from repro.ndn.packets import Data, Interest
+
+
+class NegativeTagCache:
+    """Bounded TTL-LRU set of tag keys known to be invalid."""
+
+    def __init__(self, capacity: int = 1024, ttl: float = 10.0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._entries: "OrderedDict[bytes, float]" = OrderedDict()
+        self.insertions = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def remember(self, key: bytes, now: float, expires_cap: Optional[float] = None) -> None:
+        """Record an invalid key until ``now + ttl`` (capped by the
+        tag's own expiry when known)."""
+        deadline = now + self.ttl
+        if expires_cap is not None:
+            deadline = min(deadline, expires_cap)
+        if deadline <= now:
+            return
+        self._entries.pop(key, None)
+        self._entries[key] = deadline
+        self.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def contains(self, key: bytes, now: float) -> bool:
+        deadline = self._entries.get(key)
+        if deadline is None:
+            return False
+        if deadline < now:
+            del self._entries[key]
+            return False
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True
+
+
+class HardenedEdgeRouter(EdgeRouter):
+    """Protocol 2 plus negative tag caching.
+
+    Behaviour changes versus the stock edge router:
+
+    - arriving requests whose tag key is negatively cached are dropped
+      immediately (no Bloom lookup, no forwarding),
+    - content arriving with an attached NACK feeds the cache,
+    - the edge's own aggregated-tag signature failures feed the cache.
+    """
+
+    def __init__(self, sim, node_id, config, cert_store, metrics=None,
+                 cache_capacity: int = 1024, cache_ttl: float = 10.0) -> None:
+        super().__init__(sim, node_id, config, cert_store, metrics)
+        self.negative_cache = NegativeTagCache(capacity=cache_capacity, ttl=cache_ttl)
+        self.negative_drops = 0
+
+    def on_interest(self, interest: Interest, in_face: Face) -> None:
+        if (
+            interest.tag is not None
+            and not interest.is_registration()
+            and self.negative_cache.contains(interest.tag.cache_key(), self.sim.now)
+        ):
+            self.negative_drops += 1
+            return
+        super().on_interest(interest, in_face)
+
+    def on_data(self, data: Data, in_face: Face) -> None:
+        if data.nack is not None and data.nack.tag_key:
+            # Upstream vouched for the invalidity; cap at the tag's own
+            # expiry when the NACKed tag rode along with the Data.
+            cap = None
+            if data.tag is not None and data.tag.cache_key() == data.nack.tag_key:
+                cap = data.tag.expiry
+            self.negative_cache.remember(data.nack.tag_key, self.sim.now, cap)
+        super().on_data(data, in_face)
+
+    def verify_tag_signature(self, tag):
+        valid, delay = super().verify_tag_signature(tag)
+        if not valid:
+            self.negative_cache.remember(
+                tag.cache_key(), self.sim.now, expires_cap=tag.expiry
+            )
+        return valid, delay

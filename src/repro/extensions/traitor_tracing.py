@@ -1,0 +1,136 @@
+"""Traitor tracing: detecting shared tags.
+
+The paper's future work: "augment our mechanism with a traitor tracing
+feature for preventing the clients from sharing their tags with
+unauthorized users and thwarting replay attack."
+
+With the access-path binding *on*, a shared tag simply fails at the
+edge.  With it off (the paper's own simulated configuration), sharing
+works — but it leaves a fingerprint: the same signed tag observed with
+*different* access paths, or at different edge routers, within one tag
+lifetime.  A single client cannot be in two places at once (the paper
+assumes sharer and freeloader are not co-located under the same AP).
+
+:class:`TraitorDetector` is the ISP-side aggregator of those
+observations; :class:`TracingEdgeRouter` is Protocol 2 plus one
+bookkeeping call per request.  On detection the detector can hand the
+offending client to a :class:`~repro.extensions.explicit_revocation.
+RevocationAuthority` for immediate network-wide revocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.edge_router import EdgeRouter
+from repro.core.tag import Tag
+from repro.ndn.link import Face
+from repro.ndn.packets import Interest
+
+
+@dataclass
+class TraitorAlert:
+    """One detected sharing incident."""
+
+    tag_key: bytes
+    client_key_locator: str
+    first_seen: Tuple[bytes, str]  # (access path, edge router id)
+    second_seen: Tuple[bytes, str]
+    detected_at: float
+
+
+@dataclass
+class _TagSighting:
+    access_path: bytes
+    edge_id: str
+    expires_at: float
+
+
+class TraitorDetector:
+    """Aggregates per-tag location sightings across edge routers.
+
+    A tag seen with two distinct (access-path, edge-router) locations
+    before it expires is being shared; the detector raises one alert
+    per offending tag and invokes ``on_alert`` (e.g. a revocation
+    authority callback).
+    """
+
+    def __init__(self, on_alert: Optional[Callable[[TraitorAlert], None]] = None) -> None:
+        self._sightings: Dict[bytes, _TagSighting] = {}
+        self._alerted: Set[bytes] = set()
+        self.alerts: List[TraitorAlert] = []
+        self.on_alert = on_alert
+        self.observations = 0
+
+    def observe(
+        self,
+        tag: Tag,
+        observed_access_path: bytes,
+        edge_id: str,
+        now: float,
+    ) -> Optional[TraitorAlert]:
+        """Record one request's (tag, location); returns an alert if
+        this observation proves sharing."""
+        self.observations += 1
+        key = tag.cache_key()
+        if key in self._alerted:
+            return None
+        location = (observed_access_path, edge_id)
+        sighting = self._sightings.get(key)
+        if sighting is None or sighting.expires_at < now:
+            self._sightings[key] = _TagSighting(
+                access_path=observed_access_path,
+                edge_id=edge_id,
+                expires_at=tag.expiry,
+            )
+            return None
+        if (sighting.access_path, sighting.edge_id) == location:
+            return None
+        alert = TraitorAlert(
+            tag_key=key,
+            client_key_locator=tag.client_key_locator,
+            first_seen=(sighting.access_path, sighting.edge_id),
+            second_seen=location,
+            detected_at=now,
+        )
+        self._alerted.add(key)
+        self.alerts.append(alert)
+        if self.on_alert is not None:
+            self.on_alert(alert)
+        return alert
+
+    def is_flagged(self, tag: Tag) -> bool:
+        return tag.cache_key() in self._alerted
+
+    def flagged_clients(self) -> Set[str]:
+        """Key locators of every client caught sharing."""
+        return {alert.client_key_locator for alert in self.alerts}
+
+
+class TracingEdgeRouter(EdgeRouter):
+    """Protocol 2 plus traitor-tracing observation on every tagged request.
+
+    Flagged tags are dropped at the edge from the moment of detection —
+    sharing costs the *legitimate* owner their access, which is the
+    deterrent the paper envisions.
+    """
+
+    def __init__(self, sim, node_id, config, cert_store, metrics=None,
+                 detector: Optional[TraitorDetector] = None) -> None:
+        super().__init__(sim, node_id, config, cert_store, metrics)
+        self.detector = detector or TraitorDetector()
+        self.traitor_drops = 0
+
+    def on_interest(self, interest: Interest, in_face: Face) -> None:
+        if interest.tag is not None and not interest.is_registration():
+            self.detector.observe(
+                interest.tag,
+                interest.observed_access_path,
+                self.node_id,
+                self.sim.now,
+            )
+            if self.detector.is_flagged(interest.tag):
+                self.traitor_drops += 1
+                return  # silently drop, like other Protocol 1 failures
+        super().on_interest(interest, in_face)

@@ -1,0 +1,27 @@
+"""Probabilistic set-membership filters.
+
+TACTIC equips every router with a Bloom filter that caches validated
+tags (Section 4.B).  The paper sizes filters for a target capacity with
+5 hash functions and a maximum false-positive probability of 1e-4, and
+resets a filter when it saturates (its FPP estimate reaches the
+maximum).  :mod:`~repro.filters.bloom` implements exactly that;
+:mod:`~repro.filters.counting` adds a counting variant with deletion
+(useful for the traitor-tracing extension); :mod:`~repro.filters.params`
+holds the sizing math (Mullin, CACM 1983).
+"""
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.counting import CountingBloomFilter
+from repro.filters.params import (
+    estimate_fpp,
+    optimal_num_hashes,
+    size_for_capacity,
+)
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "estimate_fpp",
+    "optimal_num_hashes",
+    "size_for_capacity",
+]

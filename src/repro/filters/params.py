@@ -1,0 +1,48 @@
+"""Bloom filter sizing math.
+
+Standard results (Mullin, "A second look at Bloom filters", CACM 1983;
+the paper's reference [18]): for a filter of ``m`` bits holding ``n``
+elements under ``k`` hash functions, the false-positive probability is
+
+    p = (1 - e^(-k n / m))^k
+
+The paper fixes ``k = 5`` and a maximum FPP, then sizes ``m`` so the
+filter reaches that FPP exactly when ``n`` hits the advertised capacity.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def estimate_fpp(size_bits: int, num_hashes: int, num_items: int) -> float:
+    """False-positive probability of an (m, k) filter holding n items."""
+    if num_items <= 0:
+        return 0.0
+    if size_bits <= 0:
+        return 1.0
+    exponent = -num_hashes * num_items / size_bits
+    return (1.0 - math.exp(exponent)) ** num_hashes
+
+
+def size_for_capacity(capacity: int, max_fpp: float, num_hashes: int) -> int:
+    """Bits needed so FPP at ``capacity`` items equals ``max_fpp``.
+
+    Inverts the FPP formula for fixed ``k``:
+        m = -k n / ln(1 - p^(1/k))
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if not 0.0 < max_fpp < 1.0:
+        raise ValueError(f"max_fpp must be in (0, 1), got {max_fpp}")
+    if num_hashes <= 0:
+        raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+    base = 1.0 - max_fpp ** (1.0 / num_hashes)
+    return max(num_hashes, math.ceil(-num_hashes * capacity / math.log(base)))
+
+
+def optimal_num_hashes(size_bits: int, capacity: int) -> int:
+    """The k minimizing FPP for a given m/n ratio: k = (m/n) ln 2."""
+    if capacity <= 0 or size_bits <= 0:
+        raise ValueError("size_bits and capacity must be positive")
+    return max(1, round(size_bits / capacity * math.log(2)))

@@ -1,0 +1,55 @@
+"""Named-Data Networking substrate.
+
+A from-scratch reimplementation of the NDN machinery TACTIC runs on
+(the paper used ndnSIM-2.3): hierarchical names, Interest/Data/NACK
+packets extended with TACTIC's fields, the three router tables (FIB,
+PIT, CS), point-to-point links with serialization and drop-tail queues,
+a generic forwarder node, and network/route assembly.
+"""
+
+from repro.ndn.cs import ContentStore
+from repro.ndn.fib import Fib, NextHop
+from repro.ndn.link import Face, Link
+from repro.ndn.manifest import Manifest
+from repro.ndn.name import Name
+from repro.ndn.network import Network
+from repro.ndn.node import AccessPoint, Node
+from repro.ndn.packets import (
+    AttachedNack,
+    Data,
+    Interest,
+    Nack,
+    NackReason,
+)
+from repro.ndn.pit import Pit, PitEntry, PitRecord
+from repro.ndn.strategy import (
+    BestRouteStrategy,
+    LoadBalanceStrategy,
+    MulticastStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "AccessPoint",
+    "AttachedNack",
+    "BestRouteStrategy",
+    "ContentStore",
+    "Data",
+    "Face",
+    "Fib",
+    "Interest",
+    "Link",
+    "LoadBalanceStrategy",
+    "Manifest",
+    "MulticastStrategy",
+    "Nack",
+    "NackReason",
+    "Name",
+    "Network",
+    "NextHop",
+    "Node",
+    "Pit",
+    "PitEntry",
+    "PitRecord",
+    "make_strategy",
+]

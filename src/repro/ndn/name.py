@@ -1,0 +1,122 @@
+"""Hierarchical NDN names.
+
+Names are immutable sequences of string components, written in URI form
+as ``/component/component/...``.  The empty name (``/``) is the root and
+is a prefix of every name.  Longest-prefix matching over names drives
+FIB lookups; exact matching drives PIT and content-store lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+NameLike = Union["Name", str, Iterable[str]]
+
+
+class Name:
+    """An immutable hierarchical name.
+
+    >>> n = Name('/prov-0/obj-3/chunk-7')
+    >>> len(n)
+    3
+    >>> n.prefix(1)
+    Name('/prov-0')
+    >>> Name('/prov-0').is_prefix_of(n)
+    True
+    >>> n / 'meta'
+    Name('/prov-0/obj-3/chunk-7/meta')
+    """
+
+    __slots__ = ("components", "_uri", "_hash")
+
+    def __new__(cls, value: NameLike = ()):
+        # Fast path: Name(name) returns the same immutable instance, so
+        # hot call sites can normalize without allocation or rehashing.
+        if type(value) is cls:
+            return value
+        return super().__new__(cls)
+
+    def __init__(self, value: NameLike = ()) -> None:
+        if value is self:
+            return  # already-initialized instance returned by __new__
+        if isinstance(value, Name):
+            components: Tuple[str, ...] = value.components
+        elif isinstance(value, str):
+            stripped = value.strip("/")
+            components = tuple(c for c in stripped.split("/") if c) if stripped else ()
+        else:
+            components = tuple(str(c) for c in value)
+        for component in components:
+            if "/" in component:
+                raise ValueError(f"name component may not contain '/': {component!r}")
+        object.__setattr__(self, "components", components)
+        object.__setattr__(self, "_uri", "/" + "/".join(components))
+        object.__setattr__(self, "_hash", hash(components))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Name is immutable")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __getitem__(self, index: int) -> str:
+        return self.components[index]
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def prefix(self, length: int) -> "Name":
+        """The first ``length`` components as a new name."""
+        return Name(self.components[:length])
+
+    @property
+    def parent(self) -> "Name":
+        if not self.components:
+            raise ValueError("root name has no parent")
+        return Name(self.components[:-1])
+
+    def append(self, *components: str) -> "Name":
+        return Name(self.components + components)
+
+    def __truediv__(self, component: str) -> "Name":
+        return self.append(component)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def is_prefix_of(self, other: NameLike) -> bool:
+        other = Name(other)
+        n = len(self.components)
+        return other.components[:n] == self.components
+
+    # ------------------------------------------------------------------
+    # Equality / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Name):
+            return self.components == other.components
+        if isinstance(other, str):
+            return self == Name(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Name") -> bool:
+        return self.components < Name(other).components
+
+    def to_uri(self) -> str:
+        return self._uri
+
+    def __str__(self) -> str:
+        return self._uri
+
+    def __repr__(self) -> str:
+        return f"Name({self._uri!r})"
+
+    def encoded_size(self) -> int:
+        """Approximate wire size: 2 bytes TLV per component + text."""
+        return 2 * len(self.components) + sum(len(c) for c in self.components)

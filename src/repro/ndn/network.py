@@ -1,0 +1,176 @@
+"""Network assembly: nodes, links, and FIB population.
+
+A :class:`Network` owns the simulator, every node, and every link, and
+computes shortest-path routes (networkx, latency-weighted) from each
+router toward each announced name prefix — the role a routing protocol
+(NLSR) plays in a real NDN deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.ndn.link import Link
+from repro.ndn.name import Name, NameLike
+from repro.ndn.node import Node
+from repro.sim.engine import Simulator
+
+
+class Network:
+    """Container wiring nodes, links, and routes together."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self._graph = nx.Graph()
+        #: (prefix, origin) pairs, remembered so routes can be recomputed
+        #: after topology changes (link failure/restoration).
+        self._announcements: List[Tuple[Name, Node]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, routable: bool = True) -> Node:
+        """Register ``node``.  Non-routable nodes (clients, APs) are kept
+        out of the routing graph so shortest paths never cut through
+        the wireless edge."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        if routable:
+            self._graph.add_node(node.node_id)
+        return node
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        bandwidth_bps: float = 500e6,
+        latency: float = 0.001,
+        queue_bytes: int = 64 * 1024,
+        loss_rate: float = 0.0,
+    ) -> Link:
+        """Create a duplex link between two registered nodes."""
+        link = Link(
+            self.sim,
+            a,
+            b,
+            bandwidth_bps=bandwidth_bps,
+            latency=latency,
+            queue_bytes=queue_bytes,
+            loss_rate=loss_rate,
+        )
+        self.links.append(link)
+        if a.node_id in self._graph and b.node_id in self._graph:
+            self._graph.add_edge(a.node_id, b.node_id, weight=latency, link=link)
+        return link
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def announce_prefix(
+        self, prefix: NameLike, origin: Node, replace: bool = False
+    ) -> None:
+        """Install FIB entries toward ``origin`` on every routable node.
+
+        Computes latency-weighted shortest paths from the origin and
+        points each router's FIB entry for ``prefix`` at its next hop.
+        ``replace=True`` discards any existing hop set first (used when
+        re-converging after a topology change, where stale hops may be
+        spuriously cheaper than any live path).
+        """
+        prefix = Name(prefix)
+        if origin.node_id not in self._graph:
+            raise ValueError(f"origin {origin.node_id!r} is not routable")
+        if (prefix, origin) not in self._announcements:
+            self._announcements.append((prefix, origin))
+        lengths, paths = nx.single_source_dijkstra(self._graph, origin.node_id)
+        if replace:
+            for node in self.nodes.values():
+                node.fib.remove(prefix)
+        for node_id, path in paths.items():
+            if node_id == origin.node_id:
+                continue
+            node = self.nodes[node_id]
+            next_hop = self.nodes[path[-2]]  # path runs origin -> ... -> node
+            face = node.face_toward(next_hop)
+            node.fib.add_if_cheaper(prefix, face, cost=lengths[node_id])
+
+    def announce_prefixes(self, announcements: Iterable[Tuple[NameLike, Node]]) -> None:
+        for prefix, origin in announcements:
+            self.announce_prefix(prefix, origin)
+
+    # ------------------------------------------------------------------
+    # Failures and repair
+    # ------------------------------------------------------------------
+    def find_link(self, a: Node, b: Node) -> Optional[Link]:
+        for link in self.links:
+            if {n.node_id for n in link._nodes} == {a.node_id, b.node_id}:
+                return link
+        return None
+
+    def fail_link(self, a: Node, b: Node, reroute: bool = True) -> Link:
+        """Take the a—b link down; optionally recompute every route.
+
+        FIB entries pointing over the dead link are purged from both
+        endpoints first, so even without a reroute the strategies stop
+        selecting it.
+        """
+        link = self.find_link(a, b)
+        if link is None:
+            raise LookupError(f"no link between {a.node_id} and {b.node_id}")
+        link.up = False
+        if self._graph.has_edge(a.node_id, b.node_id):
+            self._graph.remove_edge(a.node_id, b.node_id)
+        for node in (a, b):
+            node.fib.purge_face(link.face_of(node))
+        if reroute:
+            self.reannounce()
+        return link
+
+    def restore_link(self, a: Node, b: Node, reroute: bool = True) -> Link:
+        """Bring the a—b link back and (optionally) recompute routes."""
+        link = self.find_link(a, b)
+        if link is None:
+            raise LookupError(f"no link between {a.node_id} and {b.node_id}")
+        link.up = True
+        if a.node_id in self._graph and b.node_id in self._graph:
+            self._graph.add_edge(a.node_id, b.node_id, weight=link.latency, link=link)
+        if reroute:
+            self.reannounce()
+        return link
+
+    def reannounce(self) -> None:
+        """Recompute every remembered announcement on the current graph
+        (the role of a routing protocol's convergence)."""
+        for prefix, origin in self._announcements:
+            try:
+                self.announce_prefix(prefix, origin, replace=True)
+            except ValueError:
+                continue  # origin partitioned; nothing to announce
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        return self.nodes[node_id]
+
+    def total_drops(self) -> int:
+        return sum(link.packets_dropped for link in self.links)
+
+    def total_bytes(self) -> int:
+        return sum(link.bytes_sent for link in self.links)
+
+    def routable_graph(self) -> nx.Graph:
+        """A copy of the routing graph (for tests and analysis)."""
+        return self._graph.copy()
+
+    def path_latency(self, a: Node, b: Node) -> Optional[float]:
+        """Propagation latency of the routed path between two routers."""
+        try:
+            return nx.dijkstra_path_length(self._graph, a.node_id, b.node_id)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None

@@ -1,0 +1,281 @@
+"""The NDN forwarder node and the access-point relay.
+
+:class:`Node` implements vanilla NDN forwarding (CS -> PIT -> FIB on
+Interest; PIT consume + reverse-path forward + cache on Data) with
+overridable hooks, so TACTIC's router roles (:mod:`repro.core`) and the
+baseline schemes (:mod:`repro.baselines`) subclass it and specialize
+only what their protocol changes.
+
+:class:`AccessPoint` is the layer-2-ish relay between wireless clients
+and their edge router.  It does *not* aggregate (tag handling is
+per-request), but it does fold its identity hash into each passing
+Interest's observed access path — the rolling hash the edge router
+compares against the tag's ``APu`` field (Section 4.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crypto.cost_model import ComputationCostModel, ZERO_COST_MODEL
+from repro.crypto.hashing import entity_identity_hash, xor_fold
+from repro.ndn.cs import ContentStore
+from repro.ndn.fib import Fib
+from repro.ndn.link import Face
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest, Nack
+from repro.ndn.pit import Pit, PitRecord
+from repro.ndn.strategy import BestRouteStrategy
+from repro.sim.engine import Simulator
+
+
+class Node:
+    """A generic NDN forwarder.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this node schedules against.
+    node_id:
+        Unique string identity (also hashed into access paths).
+    cs_capacity:
+        Content-store size in packets; 0 disables caching.
+    pit_lifetime:
+        Seconds a PIT entry stays alive without being satisfied.
+    cost_model:
+        Latency model for computation-based events; defaults to zero
+        cost (substrate tests want deterministic timing — TACTIC runs
+        install the paper's model).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        cs_capacity: int = 1000,
+        pit_lifetime: float = 2.0,
+        cost_model: Optional[ComputationCostModel] = None,
+        cs_policy: str = "lru",
+        pit_capacity: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.faces: List[Face] = []
+        self.fib = Fib()
+        self.pit = Pit(entry_lifetime=pit_lifetime, capacity=pit_capacity)
+        self.cs = ContentStore(capacity=cs_capacity, policy=cs_policy)
+        self.cost_model = cost_model or ZERO_COST_MODEL
+        self.strategy = BestRouteStrategy()
+        self.rng = sim.rng.stream(f"node:{node_id}")
+        self.identity_hash = entity_identity_hash(node_id)
+        self.interests_received = 0
+        self.data_received = 0
+        self.nacks_received = 0
+        self.unroutable_drops = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_face(self, face: Face) -> None:
+        self.faces.append(face)
+
+    def face_toward(self, node: "Node") -> Face:
+        for face in self.faces:
+            if face.peer is node:
+                return face
+        raise LookupError(f"{self.node_id} has no face toward {node.node_id}")
+
+    # ------------------------------------------------------------------
+    # Packet I/O
+    # ------------------------------------------------------------------
+    def receive(self, packet, in_face: Face) -> None:
+        """Entry point invoked by links on packet arrival."""
+        trace = self.sim.trace
+        if isinstance(packet, Interest):
+            self.interests_received += 1
+            if trace.enabled:
+                trace.emit(
+                    "node.rx.interest", self.sim.now,
+                    node=self.node_id, content=str(packet.name), nonce=packet.nonce,
+                )
+            self.on_interest(packet, in_face)
+        elif isinstance(packet, Data):
+            self.data_received += 1
+            if trace.enabled:
+                trace.emit(
+                    "node.rx.data", self.sim.now,
+                    node=self.node_id, content=str(packet.name),
+                    nack=packet.nack.reason.value if packet.nack else None,
+                )
+            self.on_data(packet, in_face)
+        elif isinstance(packet, Nack):
+            self.nacks_received += 1
+            if trace.enabled:
+                trace.emit(
+                    "node.rx.nack", self.sim.now,
+                    node=self.node_id, content=str(packet.name),
+                    reason=packet.reason.value,
+                )
+            self.on_nack(packet, in_face)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown packet type: {type(packet)!r}")
+
+    def send(self, face: Face, packet, delay: float = 0.0) -> None:
+        """Send ``packet`` on ``face``, after an optional compute delay."""
+        if delay > 0.0:
+            self.sim.schedule(delay, face.send, packet)
+        else:
+            face.send(packet)
+
+    def compute_delay(self, *ops: str) -> float:
+        """Sample and sum the latencies of the named operations."""
+        return sum(self.cost_model.sample(op, self.rng) for op in ops)
+
+    # ------------------------------------------------------------------
+    # Default NDN behaviour (overridden by protocol roles)
+    # ------------------------------------------------------------------
+    def on_interest(self, interest: Interest, in_face: Face) -> None:
+        cached = self.cs.lookup(interest.name, now=self.sim.now)
+        if cached is not None:
+            cached.tag = interest.tag
+            self.send(in_face, cached)
+            return
+        record = PitRecord(
+            tag=interest.tag,
+            flag_f=interest.flag_f,
+            in_face=in_face,
+            arrived_at=self.sim.now,
+            requester_id=interest.requester_id,
+            nonce=interest.nonce,
+        )
+        if self.pit.insert(interest.name, record, now=self.sim.now):
+            self.forward_interest(interest, in_face)
+
+    def forward_interest(
+        self, interest: Interest, in_face: Face, delay: float = 0.0
+    ) -> bool:
+        """Forward per the node's strategy; False when unroutable."""
+        faces = self.strategy.select(
+            self.fib.lookup_nexthops(interest.name), in_face, self.rng
+        )
+        if not faces:
+            self.unroutable_drops += 1
+            return False
+        for index, face in enumerate(faces):
+            self.send(face, interest if index == 0 else interest.copy(), delay)
+        return True
+
+    def on_data(self, data: Data, in_face: Face) -> None:
+        if data.nack is None:
+            self.cs.insert(data)
+        entry = self.pit.consume(data.name, now=self.sim.now)
+        if entry is None:
+            return
+        for record in entry.records:
+            out = data.copy()
+            out.tag = record.tag
+            self.send(record.in_face, out)
+
+    def on_nack(self, nack: Nack, in_face: Face) -> None:
+        """Default: NACKs terminate here (clients override)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.node_id}>"
+
+
+@dataclass
+class _ApPending:
+    nonce: int
+    tag_key: Optional[bytes]
+    face: Face
+    expires_at: float
+
+
+class AccessPoint(Node):
+    """Wireless access-point relay between clients and an edge router.
+
+    Forwards every client Interest upstream without aggregation,
+    XOR-folding its identity hash into the Interest's observed access
+    path ("each intermediate entity, between u and her corresponding
+    rE, adds its identity to the rolling hash").  Downstream traffic is
+    demultiplexed back to the requesting client by tag (Data) or nonce
+    (standalone NACK).
+    """
+
+    def __init__(self, sim: Simulator, node_id: str, pending_lifetime: float = 2.0) -> None:
+        super().__init__(sim, node_id, cs_capacity=0)
+        self.uplink: Optional[Face] = None
+        self.pending_lifetime = pending_lifetime
+        self._pending: Dict[Name, List[_ApPending]] = {}
+
+    def set_uplink(self, face: Face) -> None:
+        self.uplink = face
+
+    def _purge(self, name: Name) -> None:
+        now = self.sim.now
+        records = self._pending.get(name)
+        if not records:
+            return
+        live = [r for r in records if r.expires_at >= now]
+        if live:
+            self._pending[name] = live
+        else:
+            del self._pending[name]
+
+    def on_interest(self, interest: Interest, in_face: Face) -> None:
+        if self.uplink is None:
+            raise RuntimeError(f"access point {self.node_id} has no uplink")
+        if in_face is self.uplink:
+            self.unroutable_drops += 1
+            return
+        name = Name(interest.name)
+        self._purge(name)
+        tag_key = interest.tag.cache_key() if interest.tag is not None else None
+        self._pending.setdefault(name, []).append(
+            _ApPending(
+                nonce=interest.nonce,
+                tag_key=tag_key,
+                face=in_face,
+                expires_at=self.sim.now + self.pending_lifetime,
+            )
+        )
+        out = interest.copy()
+        out.observed_access_path = xor_fold(
+            out.observed_access_path, self.identity_hash
+        )
+        self.send(self.uplink, out)
+
+    def on_data(self, data: Data, in_face: Face) -> None:
+        name = Name(data.name)
+        self._purge(name)
+        records = self._pending.get(name, [])
+        if not records:
+            return
+        if data.tag is not None:
+            tag_key = data.tag.cache_key()
+            matched = [r for r in records if r.tag_key == tag_key]
+            if not matched:
+                matched = records[:]
+        else:
+            matched = records[:]
+        remaining = [r for r in records if r not in matched]
+        if remaining:
+            self._pending[name] = remaining
+        else:
+            self._pending.pop(name, None)
+        for record in matched:
+            self.send(record.face, data.copy())
+
+    def on_nack(self, nack: Nack, in_face: Face) -> None:
+        name = Name(nack.name)
+        self._purge(name)
+        records = self._pending.get(name, [])
+        matched = [r for r in records if r.nonce == nack.nonce] or records[:]
+        remaining = [r for r in records if r not in matched]
+        if remaining:
+            self._pending[name] = remaining
+        else:
+            self._pending.pop(name, None)
+        for record in matched:
+            self.send(record.face, nack.copy())

@@ -1,0 +1,115 @@
+"""Pluggable forwarding strategies.
+
+ndnSIM separates *what the FIB knows* (ranked nexthop sets) from *how a
+node uses it*; the same split here:
+
+- :class:`BestRouteStrategy` — send on the cheapest hop (the default,
+  and what the TACTIC evaluation uses),
+- :class:`MulticastStrategy` — send on every hop (robustness at the
+  price of duplicate upstream traffic; NDN PIT aggregation and the
+  content store absorb the duplicates on the way back),
+- :class:`LoadBalanceStrategy` — randomize across hops weighted by
+  inverse cost (spreads hot prefixes over parallel uplinks).
+
+A strategy returns the list of faces to forward one Interest on; nodes
+consult ``self.strategy.select(...)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.ndn.fib import NextHop
+from repro.ndn.link import Face
+
+
+class Strategy:
+    """Base class: pick outgoing faces from a candidate hop set."""
+
+    name = "abstract"
+
+    def select(
+        self,
+        nexthops: Sequence[NextHop],
+        in_face: Optional[Face],
+        rng: random.Random,
+    ) -> List[Face]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _usable(nexthops: Sequence[NextHop], in_face: Optional[Face]) -> List[NextHop]:
+        """Never forward back where the Interest came from, and never on
+        a face whose link is down."""
+        usable = []
+        for hop in nexthops:
+            if hop.face is in_face:
+                continue
+            link = getattr(hop.face, "link", None)
+            if link is not None and not getattr(link, "up", True):
+                continue
+            usable.append(hop)
+        return usable
+
+
+class BestRouteStrategy(Strategy):
+    """The cheapest usable hop only (NDN's best-route strategy)."""
+
+    name = "best-route"
+
+    def select(self, nexthops, in_face, rng):
+        usable = self._usable(nexthops, in_face)
+        return [usable[0].face] if usable else []
+
+
+class MulticastStrategy(Strategy):
+    """Every usable hop (NDN's multicast strategy)."""
+
+    name = "multicast"
+
+    def select(self, nexthops, in_face, rng):
+        return [hop.face for hop in self._usable(nexthops, in_face)]
+
+
+class LoadBalanceStrategy(Strategy):
+    """One usable hop, drawn with probability inversely proportional to
+    cost (cheap paths carry proportionally more traffic)."""
+
+    name = "load-balance"
+
+    def select(self, nexthops, in_face, rng):
+        usable = self._usable(nexthops, in_face)
+        if not usable:
+            return []
+        if len(usable) == 1:
+            return [usable[0].face]
+        weights = [1.0 / (hop.cost + 1e-9) for hop in usable]
+        total = sum(weights)
+        pick = rng.random() * total
+        acc = 0.0
+        for hop, weight in zip(usable, weights):
+            acc += weight
+            if pick <= acc:
+                return [hop.face]
+        return [usable[-1].face]
+
+
+STRATEGIES = {
+    "best-route": BestRouteStrategy,
+    "multicast": MulticastStrategy,
+    "load-balance": LoadBalanceStrategy,
+}
+
+
+def make_strategy(name: str) -> Strategy:
+    """Instantiate a strategy by name.
+
+    >>> make_strategy('best-route').name
+    'best-route'
+    """
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {sorted(STRATEGIES)}"
+        ) from None

@@ -1,0 +1,32 @@
+"""Discrete-event simulation engine.
+
+This package is the substrate on which the NDN network model
+(:mod:`repro.ndn`) runs.  It provides:
+
+- :class:`~repro.sim.engine.Simulator` -- a heap-based discrete-event
+  scheduler with a monotonically advancing virtual clock,
+- :class:`~repro.sim.events.Event` -- schedulable, cancellable events,
+- :class:`~repro.sim.rng.RngRegistry` -- named, independently seeded
+  random streams so that component randomness is reproducible and
+  decoupled,
+- :mod:`~repro.sim.tracing` -- lightweight trace hooks for metrics, and
+- :mod:`~repro.sim.process` -- generator-based cooperative processes for
+  writing sequential behaviours (used by workload drivers).
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event
+from repro.sim.process import Process, Timeout
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceHub, TraceRecord
+
+__all__ = [
+    "Event",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "TraceHub",
+    "TraceRecord",
+]

@@ -1,0 +1,63 @@
+"""Schedulable events for the discrete-event engine."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Tuple
+
+_event_counter = itertools.count()
+
+
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)``.  The sequence
+    number breaks ties deterministically: two events scheduled for the
+    same instant fire in scheduling order, which keeps simulations
+    reproducible across runs.
+
+    Events support cancellation: a cancelled event stays in the heap but
+    is skipped when popped (lazy deletion), which is O(1) instead of the
+    O(n) cost of removing from the middle of a heap.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_event_counter)
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} {name}{state}>"
+
+
+def make_event(
+    time: float,
+    callback: Callable[..., Any],
+    args: Tuple[Any, ...] = (),
+    priority: int = 0,
+) -> Event:
+    """Convenience constructor mirroring :class:`Event`."""
+    return Event(time, callback, args, priority)

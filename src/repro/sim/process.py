@@ -1,0 +1,81 @@
+"""Generator-based cooperative processes.
+
+Workload drivers (clients, attackers) are easier to express as
+sequential coroutines than as event-callback state machines.  A process
+is a generator that yields :class:`Timeout` objects; the engine resumes
+it when the timeout elapses.
+
+>>> from repro.sim import Simulator, Process, Timeout
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(('start', sim.now))
+...     yield Timeout(1.5)
+...     log.append(('resumed', sim.now))
+>>> _ = Process(sim, worker())
+>>> sim.run()
+>>> log
+[('start', 0.0), ('resumed', 1.5)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Simulator
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` virtual seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+
+class Process:
+    """Drives a generator against the simulator clock.
+
+    The generator starts immediately (at scheduling time ``start_delay``
+    from now, default 0) and is resumed every time a yielded
+    :class:`Timeout` expires.  Returning (or raising ``StopIteration``)
+    ends the process; :meth:`interrupt` ends it early.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Timeout, Any, Any],
+        start_delay: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.alive = True
+        self._pending_event = sim.schedule(start_delay, self._resume)
+
+    def _resume(self) -> None:
+        if not self.alive:
+            return
+        self._pending_event = None
+        try:
+            yielded = next(self.generator)
+        except StopIteration:
+            self.alive = False
+            return
+        if not isinstance(yielded, Timeout):
+            self.alive = False
+            raise TypeError(
+                f"process yielded {yielded!r}; only Timeout is supported"
+            )
+        self._pending_event = self.sim.schedule(yielded.delay, self._resume)
+
+    def interrupt(self) -> None:
+        """Stop the process; any pending wakeup is cancelled."""
+        self.alive = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self.generator.close()

@@ -1,0 +1,59 @@
+"""Trace hooks: a minimal publish/subscribe bus for simulation metrics.
+
+Components emit named trace records; metric collectors subscribe to the
+names they care about.  This decouples protocol code from measurement
+code, mirroring ns-3's trace-source design without its ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One emitted trace sample."""
+
+    name: str
+    time: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class TraceHub:
+    """Routes trace records to subscribers by exact name or wildcard.
+
+    Subscribing to ``"*"`` receives every record; otherwise only records
+    whose ``name`` matches exactly are delivered.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Subscriber]] = {}
+        self.enabled = True
+
+    def subscribe(self, name: str, fn: Subscriber) -> None:
+        self._subs.setdefault(name, []).append(fn)
+
+    def unsubscribe(self, name: str, fn: Subscriber) -> None:
+        handlers = self._subs.get(name, [])
+        if fn in handlers:
+            handlers.remove(fn)
+
+    def emit(self, name: str, time: float, **payload: Any) -> None:
+        """Publish a record; cheap no-op when nothing is listening."""
+        if not self.enabled:
+            return
+        exact = self._subs.get(name)
+        star = self._subs.get("*")
+        if not exact and not star:
+            return
+        record = TraceRecord(name=name, time=time, payload=payload)
+        if exact:
+            for fn in list(exact):
+                fn(record)
+        if star:
+            for fn in list(star):
+                fn(record)

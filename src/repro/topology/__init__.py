@@ -1,0 +1,20 @@
+"""ISP topologies for TACTIC experiments.
+
+The paper evaluates on four scale-free topologies (Table III) with
+500 Mbps / 1 ms core links and 10 Mbps / 2 ms edge links.  This package
+generates *plans* — pure-data descriptions of routers, providers, users,
+access points, and links — which :mod:`repro.experiments` materializes
+into live simulation nodes.
+"""
+
+from repro.topology.scale_free import LinkSpec, TopologyPlan, generate_scale_free_plan
+from repro.topology.presets import PAPER_TOPOLOGIES, TopologyPreset, paper_topology_plan
+
+__all__ = [
+    "LinkSpec",
+    "PAPER_TOPOLOGIES",
+    "TopologyPlan",
+    "TopologyPreset",
+    "generate_scale_free_plan",
+    "paper_topology_plan",
+]

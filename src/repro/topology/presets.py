@@ -1,0 +1,82 @@
+"""The paper's four topologies (Table III).
+
+========================  =======  =======  =======  =======
+Entity                    Topo. 1  Topo. 2  Topo. 3  Topo. 4
+========================  =======  =======  =======  =======
+Core routers                   80      180      370      560
+Edge routers                   20       20       30       40
+Providers                      10       10       10       10
+Legitimate clients             35       71      143      213
+Attackers                      15       29       57       87
+========================  =======  =======  =======  =======
+
+Attackers are "roughly one-third" of the user base and clients
+"two-thirds" — the preset numbers match the table exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.topology.scale_free import TopologyPlan, generate_scale_free_plan
+
+
+@dataclass(frozen=True)
+class TopologyPreset:
+    """One Table III row."""
+
+    index: int
+    num_core: int
+    num_edge: int
+    num_providers: int
+    num_clients: int
+    num_attackers: int
+
+    def scaled(self, factor: float) -> "TopologyPreset":
+        """A proportionally smaller/larger variant (for quick runs).
+
+        Router counts scale with ``factor`` but never drop below the
+        minimum viable sizes (3 core, 1 edge, 1 provider, 1 client).
+        """
+        return TopologyPreset(
+            index=self.index,
+            num_core=max(3, round(self.num_core * factor)),
+            num_edge=max(1, round(self.num_edge * factor)),
+            num_providers=max(1, round(self.num_providers * factor)),
+            num_clients=max(1, round(self.num_clients * factor)),
+            num_attackers=max(1, round(self.num_attackers * factor)),
+        )
+
+
+PAPER_TOPOLOGIES: Dict[int, TopologyPreset] = {
+    1: TopologyPreset(1, num_core=80, num_edge=20, num_providers=10,
+                      num_clients=35, num_attackers=15),
+    2: TopologyPreset(2, num_core=180, num_edge=20, num_providers=10,
+                      num_clients=71, num_attackers=29),
+    3: TopologyPreset(3, num_core=370, num_edge=30, num_providers=10,
+                      num_clients=143, num_attackers=57),
+    4: TopologyPreset(4, num_core=560, num_edge=40, num_providers=10,
+                      num_clients=213, num_attackers=87),
+}
+
+
+def paper_topology_plan(index: int, seed: int = 0, scale: float = 1.0) -> TopologyPlan:
+    """Generate the plan for paper topology ``index`` (1-4).
+
+    ``scale`` shrinks every entity count proportionally for CI-speed
+    runs while keeping the Table III ratios (documented wherever used).
+    """
+    preset = PAPER_TOPOLOGIES.get(index)
+    if preset is None:
+        raise KeyError(f"unknown topology index {index}; expected 1-4")
+    if scale != 1.0:
+        preset = preset.scaled(scale)
+    return generate_scale_free_plan(
+        num_core=preset.num_core,
+        num_edge=preset.num_edge,
+        num_providers=preset.num_providers,
+        num_clients=preset.num_clients,
+        num_attackers=preset.num_attackers,
+        seed=seed,
+    )

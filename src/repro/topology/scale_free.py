@@ -1,0 +1,197 @@
+"""Scale-free topology plan generation.
+
+Produces a :class:`TopologyPlan`: node identifiers by role, link specs
+with core/edge parameters, and the attachment maps (client -> access
+point -> edge router; provider -> core router).  Plans are pure data so
+they can be generated, inspected, and tested without a simulator.
+
+The ISP core is a Barabási–Albert scale-free graph (the paper: "four
+different scale free network topologies").  Edge routers attach to
+randomly chosen core routers; providers attach to the highest-degree
+core routers ("providers on top of the hierarchy"); users spread over
+access points hanging off the edge routers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+#: Paper link parameters.
+CORE_BANDWIDTH_BPS = 500e6
+CORE_LATENCY_S = 0.001
+EDGE_BANDWIDTH_BPS = 10e6
+EDGE_LATENCY_S = 0.002
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link in a plan: endpoint ids plus physical parameters."""
+
+    a: str
+    b: str
+    bandwidth_bps: float
+    latency: float
+    kind: str  # 'core' or 'edge'
+
+
+@dataclass
+class TopologyPlan:
+    """Pure-data description of a simulation topology."""
+
+    core_ids: List[str] = field(default_factory=list)
+    edge_ids: List[str] = field(default_factory=list)
+    provider_ids: List[str] = field(default_factory=list)
+    ap_ids: List[str] = field(default_factory=list)
+    client_ids: List[str] = field(default_factory=list)
+    attacker_ids: List[str] = field(default_factory=list)
+    links: List[LinkSpec] = field(default_factory=list)
+    #: client/attacker id -> access point id
+    user_ap: Dict[str, str] = field(default_factory=dict)
+    #: access point id -> edge router id
+    ap_edge: Dict[str, str] = field(default_factory=dict)
+    #: provider id -> core router id
+    provider_core: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def user_ids(self) -> List[str]:
+        return self.client_ids + self.attacker_ids
+
+    def edge_of_user(self, user_id: str) -> str:
+        return self.ap_edge[self.user_ap[user_id]]
+
+    def validate(self) -> None:
+        """Sanity checks: connectivity and complete attachment maps."""
+        graph = nx.Graph()
+        for link in self.links:
+            graph.add_edge(link.a, link.b)
+        all_ids = (
+            self.core_ids
+            + self.edge_ids
+            + self.provider_ids
+            + self.ap_ids
+            + self.user_ids
+        )
+        missing = [i for i in all_ids if i not in graph]
+        if missing:
+            raise ValueError(f"nodes with no links: {missing[:5]}")
+        if not nx.is_connected(graph):
+            raise ValueError("topology is not connected")
+        for user in self.user_ids:
+            if user not in self.user_ap:
+                raise ValueError(f"user {user} has no access point")
+
+
+def generate_scale_free_plan(
+    num_core: int,
+    num_edge: int,
+    num_providers: int,
+    num_clients: int,
+    num_attackers: int,
+    seed: int = 0,
+    ba_attachment: int = 2,
+    users_per_ap: int = 4,
+    core_bandwidth_bps: float = CORE_BANDWIDTH_BPS,
+    core_latency: float = CORE_LATENCY_S,
+    edge_bandwidth_bps: float = EDGE_BANDWIDTH_BPS,
+    edge_latency: float = EDGE_LATENCY_S,
+) -> TopologyPlan:
+    """Generate a deterministic scale-free topology plan.
+
+    Parameters mirror Table III rows; ``seed`` controls every random
+    choice (graph wiring, attachment points, user placement).
+    """
+    if num_core < ba_attachment + 1:
+        raise ValueError(f"need at least {ba_attachment + 1} core routers")
+    if num_edge < 1 or num_providers < 1:
+        raise ValueError("need at least one edge router and one provider")
+
+    rng = random.Random(seed)
+    plan = TopologyPlan()
+    plan.core_ids = [f"core-{i}" for i in range(num_core)]
+    plan.edge_ids = [f"edge-{i}" for i in range(num_edge)]
+    plan.provider_ids = [f"prov-{i}" for i in range(num_providers)]
+
+    # ISP core: Barabási–Albert scale-free graph.
+    core_graph = nx.barabasi_albert_graph(num_core, ba_attachment, seed=seed)
+    for a, b in core_graph.edges():
+        plan.links.append(
+            LinkSpec(
+                a=f"core-{a}",
+                b=f"core-{b}",
+                bandwidth_bps=core_bandwidth_bps,
+                latency=core_latency,
+                kind="core",
+            )
+        )
+
+    # Providers sit at the top of the hierarchy: attach to the
+    # highest-degree core routers (hubs), one provider per hub,
+    # wrapping around if providers outnumber hubs.
+    hubs = sorted(core_graph.degree, key=lambda kv: kv[1], reverse=True)
+    hub_ids = [f"core-{node}" for node, _ in hubs]
+    for i, provider in enumerate(plan.provider_ids):
+        anchor = hub_ids[i % len(hub_ids)]
+        plan.provider_core[provider] = anchor
+        plan.links.append(
+            LinkSpec(
+                a=provider,
+                b=anchor,
+                bandwidth_bps=core_bandwidth_bps,
+                latency=core_latency,
+                kind="core",
+            )
+        )
+
+    # Edge routers attach to random core routers (ISP infrastructure
+    # links run at core rates).
+    for edge in plan.edge_ids:
+        anchor = f"core-{rng.randrange(num_core)}"
+        plan.links.append(
+            LinkSpec(
+                a=edge,
+                b=anchor,
+                bandwidth_bps=core_bandwidth_bps,
+                latency=core_latency,
+                kind="core",
+            )
+        )
+
+    # Users (clients + attackers) spread over access points; APs hang
+    # off edge routers at wireless-edge rates.
+    plan.client_ids = [f"client-{i}" for i in range(num_clients)]
+    plan.attacker_ids = [f"attacker-{i}" for i in range(num_attackers)]
+    users = plan.user_ids[:]
+    rng.shuffle(users)
+    num_aps = max(num_edge, (len(users) + users_per_ap - 1) // users_per_ap)
+    plan.ap_ids = [f"ap-{i}" for i in range(num_aps)]
+    for i, ap in enumerate(plan.ap_ids):
+        edge = plan.edge_ids[i % num_edge]
+        plan.ap_edge[ap] = edge
+        plan.links.append(
+            LinkSpec(
+                a=ap,
+                b=edge,
+                bandwidth_bps=edge_bandwidth_bps,
+                latency=edge_latency,
+                kind="edge",
+            )
+        )
+    for i, user in enumerate(users):
+        ap = plan.ap_ids[i % num_aps]
+        plan.user_ap[user] = ap
+        plan.links.append(
+            LinkSpec(
+                a=user,
+                b=ap,
+                bandwidth_bps=edge_bandwidth_bps,
+                latency=edge_latency,
+                kind="edge",
+            )
+        )
+
+    plan.validate()
+    return plan

@@ -1,0 +1,33 @@
+"""Workload generation: content popularity and catalogs.
+
+The paper's clients "take the content popularity (Zipf distribution
+with alpha = 0.7) into account to select and request new contents", and
+popularity is static over time (Breslau et al., the paper's [19]).
+"""
+
+from repro.workload.catalog import Catalog, CatalogEntry, build_catalog
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "RequestTrace",
+    "TraceClient",
+    "TraceRecordEntry",
+    "ZipfSampler",
+    "build_catalog",
+]
+
+_LAZY = {"RequestTrace", "TraceClient", "TraceRecordEntry"}
+
+
+def __getattr__(name):
+    # repro.workload.trace subclasses repro.core.client.Client, which
+    # itself imports this package's catalog module — loading trace
+    # eagerly here would be a circular import.  PEP 562 lazy loading
+    # keeps `from repro.workload import TraceClient` working.
+    if name in _LAZY:
+        from repro.workload import trace
+
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,57 @@
+"""Zipf popularity sampling.
+
+Rank ``r`` (1-based) of ``n`` items is drawn with probability
+proportional to ``1 / r^alpha``.  Sampling uses a precomputed CDF and
+binary search: O(n) setup, O(log n) per draw — fast enough for millions
+of requests over catalogs of hundreds of objects.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+
+class ZipfSampler:
+    """Draws 0-based item indices with Zipf(alpha) popularity.
+
+    >>> rng = random.Random(7)
+    >>> sampler = ZipfSampler(100, alpha=0.7, rng=rng)
+    >>> draws = [sampler.sample() for _ in range(1000)]
+    >>> draws.count(0) > draws.count(99)
+    True
+    """
+
+    def __init__(self, num_items: int, alpha: float, rng: random.Random) -> None:
+        if num_items <= 0:
+            raise ValueError(f"num_items must be positive, got {num_items}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.num_items = num_items
+        self.alpha = alpha
+        self._rng = rng
+        self._cdf = self._build_cdf(num_items, alpha)
+
+    @staticmethod
+    def _build_cdf(num_items: int, alpha: float) -> List[float]:
+        weights = [1.0 / (rank ** alpha) for rank in range(1, num_items + 1)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # guard against float drift
+        return cdf
+
+    def sample(self) -> int:
+        """One 0-based index; 0 is the most popular item."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def probability(self, index: int) -> float:
+        """Exact sampling probability of ``index``."""
+        if not 0 <= index < self.num_items:
+            raise IndexError(index)
+        lower = self._cdf[index - 1] if index > 0 else 0.0
+        return self._cdf[index] - lower

@@ -1,0 +1,139 @@
+"""Tests for the analytical models, including simulation cross-checks."""
+
+import pytest
+
+from repro.analysis import (
+    expected_resets,
+    expected_verification_probability,
+    inserts_to_saturation,
+    registration_rate,
+    requests_per_reset,
+    revocation_exposure,
+    tag_bandwidth_overhead,
+)
+from repro.analysis.bloom_math import tag_insert_rate
+from repro.analysis.overhead_math import unauthorized_bandwidth_waste
+from repro.analysis.revocation_math import revocation_cost_per_client
+from repro.experiments import Scenario, run_scenario
+from repro.filters.bloom import BloomFilter
+
+
+class TestBloomMath:
+    def test_saturation_at_sizing_point(self):
+        # Sized for 500 @ 1e-4 and reset at 1e-4: budget is capacity.
+        assert inserts_to_saturation(500, 1e-4) == pytest.approx(500, rel=0.01)
+
+    def test_fpp_lever_multiplies_budget(self):
+        strict = inserts_to_saturation(500, 1e-4)
+        lax = inserts_to_saturation(500, 1e-2)
+        assert 2.5 < lax / strict < 3.5  # analytic ratio ~2.95 for k=5
+
+    def test_matches_actual_filter(self):
+        # The model must agree with the real implementation.
+        for capacity, max_fpp in [(100, 1e-4), (100, 1e-2), (300, 1e-3)]:
+            bloom = BloomFilter(capacity=capacity, max_fpp=max_fpp, sizing_fpp=1e-4)
+            inserts = 0
+            while not bloom.is_saturated():
+                bloom.insert(f"item-{inserts}")
+                inserts += 1
+            predicted = inserts_to_saturation(capacity, max_fpp)
+            assert inserts == pytest.approx(predicted, rel=0.02)
+
+    def test_expected_resets(self):
+        # 10 inserts/s for 100 s into a 500-budget filter: 2 resets.
+        assert expected_resets(10.0, 100.0, 500, 1e-4) == pytest.approx(2.0, rel=0.01)
+        assert expected_resets(0.0, 100.0, 500, 1e-4) == 0.0
+
+    def test_requests_per_reset_scales_with_request_ratio(self):
+        base = requests_per_reset(100.0, 1.0, 500, 1e-4)
+        doubled = requests_per_reset(200.0, 1.0, 500, 1e-4)
+        assert doubled == pytest.approx(2 * base)
+        assert requests_per_reset(100.0, 0.0, 500, 1e-4) == float("inf")
+
+    def test_tag_insert_rate(self):
+        assert tag_insert_rate(2.0, 3.0, 10.0) == pytest.approx(0.6)
+        with pytest.raises(ValueError):
+            tag_insert_rate(1, 1, 0)
+
+
+class TestRevocationMath:
+    def test_registration_rate(self):
+        assert registration_rate(35, 2.0, 10.0) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            registration_rate(35, 2.0, 0.0)
+        with pytest.raises(ValueError):
+            registration_rate(-1, 2.0, 1.0)
+
+    def test_exposure_is_lifetime(self):
+        assert revocation_exposure(10.0) == 10.0
+        with pytest.raises(ValueError):
+            revocation_exposure(-1.0)
+
+    def test_cost_per_client(self):
+        assert revocation_cost_per_client(200) == 200
+        with pytest.raises(ValueError):
+            revocation_cost_per_client(-1)
+
+
+class TestOverheadMath:
+    def test_verification_probability_bounds(self):
+        assert expected_verification_probability(1e-4, 0.0) == pytest.approx(1e-4)
+        assert expected_verification_probability(0.5, 0.5) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            expected_verification_probability(2.0, 0.0)
+        with pytest.raises(ValueError):
+            expected_verification_probability(0.0, -0.1)
+
+    def test_tag_overhead(self):
+        assert tag_bandwidth_overhead(200, 100) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            tag_bandwidth_overhead(200, 0)
+
+    def test_bandwidth_waste(self):
+        assert unauthorized_bandwidth_waste(5.0, 1024, 1.0, 10.0) == pytest.approx(
+            51200.0
+        )
+        assert unauthorized_bandwidth_waste(5.0, 1024, 0.0, 10.0) == 0.0
+        with pytest.raises(ValueError):
+            unauthorized_bandwidth_waste(5.0, 1024, 1.5, 10.0)
+
+
+class TestModelsVsSimulation:
+    """Cross-checks: analytical predictions vs. the simulator."""
+
+    def test_registration_rate_prediction(self):
+        duration = 20.0
+        result = run_scenario(
+            Scenario.paper_topology(1, duration=duration, seed=2, scale=0.2).with_config(
+                tag_expiry=5.0
+            )
+        )
+        measured_q, _ = result.tag_rates()
+        # Infer providers-per-client from the measurement itself at one
+        # expiry, then check the *scaling* against a second expiry.
+        providers_per_client = measured_q * 5.0 / len(result.clients)
+        predicted_long = registration_rate(
+            len(result.clients), providers_per_client, 20.0
+        )
+        result_long = run_scenario(
+            Scenario.paper_topology(1, duration=duration, seed=2, scale=0.2).with_config(
+                tag_expiry=20.0
+            )
+        )
+        measured_long, _ = result_long.tag_rates()
+        # Finite-horizon effects (initial burst) keep this loose.
+        assert measured_long == pytest.approx(predicted_long, rel=0.8)
+        assert measured_long < measured_q
+
+    def test_reset_budget_prediction(self):
+        # Drive one filter through the runner and compare reset counts
+        # against the analytic budget given the measured insert count.
+        result = run_scenario(
+            Scenario.paper_topology(1, duration=30.0, seed=2, scale=0.2).with_config(
+                tag_expiry=2.0, bf_capacity=6
+            )
+        )
+        edge = result.operation_counts(edge=True)
+        budget = inserts_to_saturation(6, 1e-4)
+        predicted = edge.bf_inserts / budget
+        assert edge.bf_resets == pytest.approx(predicted, abs=max(4, predicted * 0.5))

@@ -1,0 +1,122 @@
+"""Unit tests for the baseline scheme specs and their node classes."""
+
+import pytest
+
+from repro.baselines import (
+    CLIENT_SIDE_SCHEME,
+    NO_BLOOM_SCHEME,
+    PROVIDER_AUTH_SCHEME,
+    PlainProvider,
+    PlainRouter,
+)
+from repro.core.config import TacticConfig
+from repro.core.metrics import MetricsCollector
+from repro.crypto.cost_model import ZERO_COST_MODEL
+from repro.crypto.pki import CertificateStore
+from repro.crypto.sim_signature import SimulatedKeyPair
+from repro.ndn.name import Name
+from repro.ndn.network import Network
+from repro.ndn.node import Node
+from repro.ndn.packets import Interest
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def config():
+    return TacticConfig(cost_model=ZERO_COST_MODEL)
+
+
+class TestConfigTransforms:
+    def test_no_bloom_disables_filters(self, config):
+        transformed = NO_BLOOM_SCHEME.config_transform(config)
+        assert transformed.use_bloom_filters is False
+        assert config.use_bloom_filters is True  # original untouched
+
+    def test_provider_auth_disables_caching(self, config):
+        transformed = PROVIDER_AUTH_SCHEME.config_transform(config)
+        assert transformed.cs_capacity == 0
+        assert transformed.edge_cs_capacity == 0
+        assert transformed.use_bloom_filters is False
+
+    def test_client_side_keeps_caching(self, config):
+        transformed = CLIENT_SIDE_SCHEME.config_transform(config)
+        assert transformed.cs_capacity == config.cs_capacity
+        assert CLIENT_SIDE_SCHEME.clients_register is False
+
+
+class TestPlainRouter:
+    def test_edge_factory_disables_cache(self, config):
+        sim = Simulator()
+        store = CertificateStore()
+        edge = CLIENT_SIDE_SCHEME.make_edge_router(sim, "e", config, store, None)
+        core = CLIENT_SIDE_SCHEME.make_core_router(sim, "c", config, store, None)
+        assert isinstance(edge, PlainRouter) and isinstance(core, PlainRouter)
+        assert edge.cs.capacity == 0
+        assert core.cs.capacity == config.cs_capacity
+
+
+class TestPlainProvider:
+    def build(self, config):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        store = CertificateStore()
+        keypair = SimulatedKeyPair.generate(sim.rng.stream("k"))
+        provider = PlainProvider(sim, "prov-0", config, store, keypair)
+        provider.publish_catalog([1, 2, 3])
+        consumer = Node(sim, "consumer", cs_capacity=0)
+        net.add_node(provider)
+        net.add_node(consumer, routable=False)
+        net.connect(consumer, provider)
+        return sim, provider, consumer
+
+    def test_serves_private_content_without_tag(self, config):
+        sim, provider, consumer = self.build(config)
+        got = []
+        consumer.on_data = lambda d, f: got.append(d)
+        sim.schedule(
+            0.0, consumer.faces[0].send, Interest(name=Name("/prov-0/obj-0/chunk-0"))
+        )
+        sim.run()
+        assert len(got) == 1
+        assert got[0].nack is None
+        assert got[0].access_level == 1  # level still stamped, just unenforced
+
+    def test_registration_still_issues_tags(self, config):
+        sim, provider, consumer = self.build(config)
+        secret = provider.directory.enroll("consumer", 2)
+        got = []
+        consumer.on_data = lambda d, f: got.append(d)
+        sim.schedule(
+            0.0,
+            consumer.faces[0].send,
+            Interest(name=Name("/prov-0/register/consumer/1"), credentials=secret),
+        )
+        sim.run()
+        assert got[0].is_tag_response()
+
+    def test_unknown_content_dropped(self, config):
+        sim, provider, consumer = self.build(config)
+        sim.schedule(
+            0.0, consumer.faces[0].send, Interest(name=Name("/prov-0/obj-99/chunk-0"))
+        )
+        sim.run()
+        assert provider.unroutable_drops == 1
+
+
+class TestSchemeSpecShape:
+    @pytest.mark.parametrize(
+        "spec", [CLIENT_SIDE_SCHEME, NO_BLOOM_SCHEME, PROVIDER_AUTH_SCHEME]
+    )
+    def test_factories_produce_nodes(self, spec, config):
+        sim = Simulator()
+        store = CertificateStore()
+        metrics = MetricsCollector()
+        effective = spec.config_transform(config)
+        edge = spec.make_edge_router(sim, "e", effective, store, metrics)
+        core = spec.make_core_router(sim, "c", effective, store, metrics)
+        keypair = SimulatedKeyPair.generate(sim.rng.stream("kp"))
+        provider = spec.make_provider(sim, "p", effective, store, keypair)
+        for node in (edge, core, provider):
+            assert isinstance(node, Node)
+        provider.publish_catalog([1])
+        assert len(provider.catalog) == effective.objects_per_provider

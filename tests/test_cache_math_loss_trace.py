@@ -1,0 +1,206 @@
+"""Tests for Che's approximation, link loss, and trace-driven workloads."""
+
+import random
+
+import pytest
+
+from repro.analysis.cache_math import (
+    aggregate_hit_ratio,
+    characteristic_time,
+    expected_origin_load,
+    hit_ratios,
+    zipf_popularities,
+)
+from repro.ndn.cs import ContentStore
+from repro.ndn.name import Name
+from repro.ndn.packets import Data
+from repro.workload.trace import RequestTrace, TraceClient, TraceRecordEntry
+from repro.workload.zipf import ZipfSampler
+
+from tests.conftest import build_mini_net
+
+
+class TestCheApproximation:
+    def test_everything_fits(self):
+        pops = zipf_popularities(10, 0.7)
+        assert characteristic_time(pops, capacity=10) == float("inf")
+        assert aggregate_hit_ratio(pops, capacity=10) == 1.0
+
+    def test_hit_ratio_monotone_in_capacity(self):
+        pops = zipf_popularities(100, 0.7)
+        ratios = [aggregate_hit_ratio(pops, c) for c in (5, 20, 50, 90)]
+        assert ratios == sorted(ratios)
+        assert 0.0 < ratios[0] < ratios[-1] <= 1.0
+
+    def test_popular_objects_hit_more(self):
+        pops = zipf_popularities(50, 1.0)
+        ratios = hit_ratios(pops, capacity=10)
+        assert ratios[0] > ratios[10] > ratios[-1]
+
+    def test_expected_occupancy_equals_capacity(self):
+        import math
+
+        pops = zipf_popularities(200, 0.7)
+        tc = characteristic_time(pops, capacity=40)
+        occupied = sum(1.0 - math.exp(-q * tc) for q in pops)
+        assert occupied == pytest.approx(40.0, rel=1e-6)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            characteristic_time([0.5, 0.5], capacity=0)
+        with pytest.raises(ValueError):
+            characteristic_time([0.0, 0.0], capacity=1)
+
+    def test_origin_load(self):
+        pops = zipf_popularities(100, 0.7)
+        load = expected_origin_load(1000.0, pops, capacity=50)
+        assert 0.0 < load < 1000.0
+
+    def test_prediction_matches_simulated_lru(self):
+        # Drive a real ContentStore with a Zipf stream and compare the
+        # measured hit ratio against Che's prediction.
+        num_objects, capacity, alpha = 200, 30, 0.8
+        pops = zipf_popularities(num_objects, alpha)
+        predicted = aggregate_hit_ratio(pops, capacity)
+
+        cs = ContentStore(capacity=capacity, policy="lru")
+        sampler = ZipfSampler(num_objects, alpha, random.Random(5))
+        hits = misses = 0
+        for _ in range(40000):
+            index = sampler.sample()
+            name = Name(f"/o/{index}")
+            if cs.lookup(name) is not None:
+                hits += 1
+            else:
+                misses += 1
+                cs.insert(Data(name=name, payload=b"x"))
+        measured = hits / (hits + misses)
+        assert measured == pytest.approx(predicted, abs=0.05)
+
+
+class TestLinkLoss:
+    def test_loss_rate_validated(self):
+        from repro.ndn.link import Link
+        from repro.ndn.node import Node
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, a, b, loss_rate=1.5)
+
+    def test_lossy_link_drops_expected_fraction(self):
+        from repro.ndn import Interest, Network, Node
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=3)
+        net = Network(sim)
+        a = net.add_node(Node(sim, "a"))
+        b = net.add_node(Node(sim, "b"))
+        link = net.connect(a, b, loss_rate=0.3)
+        received = []
+        b.on_interest = lambda i, f: received.append(i)
+        for i in range(2000):
+            sim.schedule(i * 0.001, a.faces[0].send, Interest(name=Name(f"/x/{i}")))
+        sim.run()
+        loss = link.packets_dropped / 2000
+        assert loss == pytest.approx(0.3, abs=0.04)
+        assert len(received) + link.packets_dropped == 2000
+
+    def test_edge_loss_config_reaches_table4_shape(self):
+        from repro.experiments import Scenario, run_scenario
+
+        result = run_scenario(
+            Scenario.paper_topology(1, duration=5.0, seed=2, scale=0.15).with_config(
+                edge_loss_rate=0.01, max_retransmissions=0
+            )
+        )
+        ratio = result.client_delivery_ratio()
+        # Loss shows up as sub-1.0 delivery (the paper's "minimal amount
+        # of network packet losses"), but the system keeps working.
+        assert 0.9 < ratio < 1.0
+        assert result.attacker_delivery_ratio() < 0.01
+
+
+class TestRequestTrace:
+    def test_generate_sorted_and_bounded(self):
+        trace = RequestTrace.generate_zipf(
+            ["u1", "u2"], num_objects=50, alpha=0.7, duration=10.0,
+            mean_interarrival=0.5, seed=1,
+        )
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+        assert all(0 <= e.time < 10.0 for e in trace)
+        assert set(trace.users()) == {"u1", "u2"}
+
+    def test_generation_deterministic(self):
+        a = RequestTrace.generate_zipf(["u"], 20, 0.7, 5.0, 0.5, seed=9)
+        b = RequestTrace.generate_zipf(["u"], 20, 0.7, 5.0, 0.5, seed=9)
+        assert a.entries == b.entries
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = RequestTrace.generate_zipf(["u1"], 20, 0.7, 5.0, 0.5, seed=2)
+        path = tmp_path / "trace.jsonl"
+        written = trace.save(str(path))
+        loaded = RequestTrace.load(str(path))
+        assert written == len(loaded) == len(trace)
+        assert loaded.entries == trace.entries
+
+    def test_for_user_filter(self):
+        entries = [
+            TraceRecordEntry(1.0, "a", 0),
+            TraceRecordEntry(2.0, "b", 1),
+            TraceRecordEntry(3.0, "a", 2),
+        ]
+        trace = RequestTrace(entries)
+        assert [e.object_index for e in trace.for_user("a")] == [0, 2]
+        assert trace.duration() == 3.0
+
+
+class TestTraceClient:
+    def test_replays_prescribed_objects(self):
+        net = build_mini_net()
+        from repro.crypto.sim_signature import SimulatedKeyPair
+        from repro.workload.catalog import build_catalog
+
+        catalog = build_catalog([net.provider]).accessible_to(3)
+        entries = [
+            TraceRecordEntry(time=0.5, user_id="alice", object_index=0),
+            TraceRecordEntry(time=1.0, user_id="alice", object_index=3),
+        ]
+        keys = SimulatedKeyPair.generate(net.sim.rng.stream("alice"))
+        client = TraceClient(
+            net.sim, "alice", net.config, catalog, net.metrics.user("alice"),
+            access_level=3, keypair=keys, trace_entries=entries,
+        )
+        client.credentials["prov-0"] = net.provider.directory.enroll(
+            "alice", 3, public_key=keys.public
+        )
+        net.network.add_node(client, routable=False)
+        net.network.connect(client, net.ap, bandwidth_bps=10e6, latency=0.002)
+        client.start(at=0.0, until=15.0)
+        net.run(until=17.0)
+
+        stats = net.metrics.user("alice")
+        expected_chunks = 2 * net.config.chunks_per_object
+        assert stats.chunks_requested == expected_chunks
+        assert stats.chunks_received == expected_chunks
+        assert client.trace_exhausted
+
+    def test_idle_without_trace_entries(self):
+        net = build_mini_net()
+        from repro.crypto.sim_signature import SimulatedKeyPair
+        from repro.workload.catalog import build_catalog
+
+        catalog = build_catalog([net.provider]).accessible_to(3)
+        client = TraceClient(
+            net.sim, "alice", net.config, catalog, net.metrics.user("alice"),
+            access_level=3,
+            keypair=SimulatedKeyPair.generate(net.sim.rng.stream("k")),
+            trace_entries=[],
+        )
+        net.network.add_node(client, routable=False)
+        net.network.connect(client, net.ap, bandwidth_bps=10e6, latency=0.002)
+        client.start(at=0.0, until=5.0)
+        net.run(until=6.0)
+        assert net.metrics.user("alice").chunks_requested == 0

@@ -1,0 +1,249 @@
+"""Behavioural tests for clients and the attacker modes."""
+
+import pytest
+
+from repro.core.attacker import Attacker, AttackerMode
+from repro.core.client import Client
+from repro.core.access_path import expected_access_path
+from repro.crypto.sim_signature import SimulatedKeyPair
+from repro.workload.catalog import build_catalog
+
+from tests.conftest import attach_client, build_mini_net
+
+
+@pytest.fixture
+def net():
+    return build_mini_net()
+
+
+def attach_attacker(net, attacker_id, mode, victim=None, catalog=None):
+    catalog = catalog or build_catalog([net.provider]).private_only()
+    stats = net.metrics.user(attacker_id, is_attacker=True)
+    attacker = Attacker(
+        net.sim,
+        attacker_id,
+        net.config,
+        catalog,
+        stats,
+        mode=mode,
+        victim=victim,
+        provider_key_locators={net.provider.node_id: net.provider.key_locator},
+    )
+    attacker.expected_access_path = expected_access_path(["ap-0"])
+    net.network.add_node(attacker, routable=False)
+    net.network.connect(attacker, net.ap, bandwidth_bps=10e6, latency=0.002)
+    return attacker
+
+
+class TestClient:
+    def test_registers_then_retrieves(self, net):
+        client = attach_client(net, "client-0")
+        client.start(at=0.0, until=5.0)
+        net.run(until=7.0)
+        stats = net.metrics.user("client-0")
+        assert stats.tags_requested >= 1
+        assert stats.tags_received >= 1
+        assert stats.chunks_received > 0
+        assert stats.delivery_ratio() > 0.95
+
+    def test_window_respected(self, net):
+        client = attach_client(net, "client-0")
+        client.start(at=0.0, until=5.0)
+        max_outstanding = 0
+
+        original = client._send_interest
+
+        def tracking_send(name, tag):
+            nonlocal max_outstanding
+            original(name, tag)
+            max_outstanding = max(max_outstanding, len(client._outstanding))
+
+        client._send_interest = tracking_send
+        net.run(until=7.0)
+        assert 0 < max_outstanding <= net.config.window_size
+
+    def test_reregisters_on_expiry(self, net):
+        client = attach_client(net, "client-0")
+        client.start(at=0.0, until=25.0)
+        net.run(until=27.0)
+        stats = net.metrics.user("client-0")
+        # 25 s of activity at 10 s tag expiry: at least 2 registrations.
+        assert stats.tags_requested >= 2
+
+    def test_latency_samples_recorded(self, net):
+        client = attach_client(net, "client-0")
+        client.start(at=0.0, until=3.0)
+        net.run(until=5.0)
+        stats = net.metrics.user("client-0")
+        assert len(stats.latency_samples) == stats.chunks_received
+        assert all(latency > 0 for _, latency in stats.latency_samples)
+
+    def test_unwraps_master_key(self, net):
+        client = attach_client(net, "client-0")
+        client.start(at=0.0, until=2.0)
+        net.run(until=4.0)
+        assert client.master_keys.get("prov-0") == net.provider.master_key
+
+    def test_stops_issuing_after_end_time(self, net):
+        client = attach_client(net, "client-0")
+        client.start(at=0.0, until=2.0)
+        net.run(until=10.0)
+        requested_at_end = net.metrics.user("client-0").chunks_requested
+        net.sim.schedule(0.0, client._pump)
+        net.run(until=15.0)
+        assert net.metrics.user("client-0").chunks_requested == requested_at_end
+
+    def test_empty_catalog_rejected(self, net):
+        catalog = build_catalog([net.provider]).accessible_to(0)
+        stats = net.metrics.user("c", is_attacker=False)
+        with pytest.raises(ValueError):
+            Client(net.sim, "c", net.config, catalog, stats)
+
+    def test_registration_timeout_retries(self, net):
+        client = attach_client(net, "client-0")
+        # Sabotage credentials so registrations are refused (silently).
+        client.credentials["prov-0"] = b"wrong"
+        client.start(at=0.0, until=4.0)
+        net.run(until=5.0)
+        stats = net.metrics.user("client-0")
+        assert stats.tags_requested >= 2  # retried after the 1 s timeout
+        assert stats.tags_received == 0
+        assert stats.chunks_received == 0
+
+
+class TestAttackerModes:
+    def run_attack(self, net, mode, **kwargs):
+        attacker = attach_attacker(net, "attacker-0", mode, **kwargs)
+        attacker.start(at=0.0, until=6.0)
+        net.run(until=8.0)
+        return attacker, net.metrics.user("attacker-0")
+
+    def test_no_tag_attacker_blocked(self, net):
+        _, stats = self.run_attack(net, AttackerMode.NO_TAG)
+        assert stats.chunks_requested > 0
+        assert stats.chunks_received == 0
+
+    def test_fake_tag_attacker_blocked(self, net):
+        attacker, stats = self.run_attack(net, AttackerMode.FAKE_TAG)
+        assert stats.chunks_requested > 0
+        assert stats.chunks_received == 0
+        # The fake tag passed the edge pre-check (well-formed), so the
+        # signature check upstream is what killed it.
+        verifs = (
+            net.core1.counters.signature_verifications
+            + net.core2.counters.signature_verifications
+            + net.provider.counters.signature_verifications
+        )
+        assert verifs > 0
+
+    def test_fake_tag_fields_defeat_cheap_checks(self, net):
+        attacker = attach_attacker(net, "attacker-0", AttackerMode.FAKE_TAG)
+        tag = attacker._fake_tag("prov-0")
+        from repro.core.precheck import edge_precheck
+
+        assert edge_precheck(tag, "/prov-0/obj-0/chunk-0", now=0.0) is None
+        assert tag.access_path == attacker.expected_access_path
+        assert not tag.verify_signature(net.provider.keypair.public)
+
+    def test_expired_tag_attacker_blocked(self, net):
+        attacker = attach_attacker(net, "attacker-0", AttackerMode.EXPIRED_TAG)
+        net.provider.directory.enroll("attacker-0", 3)
+        stale = net.provider.issue_tag_direct(
+            "attacker-0", expected_access_path(["ap-0"])
+        )
+        attacker.stale_tags["prov-0"] = stale
+        attacker.start(at=net.config.tag_expiry + 1.0, until=net.config.tag_expiry + 6.0)
+        net.run(until=net.config.tag_expiry + 8.0)
+        stats = net.metrics.user("attacker-0")
+        assert stats.chunks_requested > 0
+        assert stats.chunks_received == 0
+        assert net.edge.counters.precheck_drops > 0  # expiry caught at edge
+
+    def test_expired_attacker_without_stale_tag_degrades_to_no_tag(self, net):
+        _, stats = self.run_attack(net, AttackerMode.EXPIRED_TAG)
+        assert stats.chunks_received == 0
+
+    def test_low_access_level_attacker_blocked(self, net):
+        attacker = attach_attacker(net, "attacker-0", AttackerMode.LOW_ACCESS_LEVEL)
+        attacker.credentials["prov-0"] = net.provider.directory.enroll("attacker-0", 0)
+        attacker.start(at=0.0, until=6.0)
+        net.run(until=8.0)
+        stats = net.metrics.user("attacker-0")
+        assert stats.tags_received >= 1  # registration succeeds (level 0)
+        assert stats.chunks_received == 0  # but every request under-privileged
+
+    def test_shared_tag_attacker_blocked_by_access_path(self, net):
+        victim = attach_client(net, "client-0")
+        victim.start(at=0.0, until=6.0)
+        # Attacker at a *different* access point: wire a second AP.
+        from repro.ndn.node import AccessPoint
+
+        ap2 = AccessPoint(net.sim, "ap-1")
+        net.network.add_node(ap2, routable=False)
+        net.network.connect(ap2, net.edge, bandwidth_bps=10e6, latency=0.002)
+        ap2.set_uplink(ap2.face_toward(net.edge))
+
+        catalog = build_catalog([net.provider]).private_only()
+        stats = net.metrics.user("attacker-0", is_attacker=True)
+        attacker = Attacker(
+            net.sim,
+            "attacker-0",
+            net.config,
+            catalog,
+            stats,
+            mode=AttackerMode.SHARED_TAG,
+            victim=victim,
+        )
+        net.network.add_node(attacker, routable=False)
+        net.network.connect(attacker, ap2, bandwidth_bps=10e6, latency=0.002)
+        attacker.start(at=1.0, until=6.0)
+        net.run(until=8.0)
+        assert stats.chunks_requested > 0
+        assert stats.chunks_received == 0
+        assert net.edge.counters.access_path_drops > 0
+
+    def test_shared_tag_succeeds_when_access_path_disabled(self):
+        net = build_mini_net()
+        net.config.enable_access_path = False
+        victim = attach_client(net, "client-0")
+        victim.start(at=0.0, until=6.0)
+        attacker = attach_attacker(
+            net, "attacker-0", AttackerMode.SHARED_TAG, victim=victim
+        )
+        attacker.start(at=1.0, until=6.0)
+        net.run(until=8.0)
+        stats = net.metrics.user("attacker-0")
+        # Without the location binding the shared tag works — exactly the
+        # gap the paper's access-path feature exists to close.
+        assert stats.chunks_received > 0
+
+    def test_shared_tag_requires_victim(self, net):
+        stats = net.metrics.user("a", is_attacker=True)
+        catalog = build_catalog([net.provider]).private_only()
+        with pytest.raises(ValueError):
+            Attacker(
+                net.sim, "a", net.config, catalog, stats, mode=AttackerMode.SHARED_TAG
+            )
+
+    def test_attacker_window_throttled_by_request_expiry(self, net):
+        attacker, stats = self.run_attack(net, AttackerMode.NO_TAG)
+        # Silently dropped requests stall the window until the 1 s expiry:
+        # rate is bounded by window/request_lifetime (plus slack for the
+        # start burst) — the paper's request-based DoS prevention.
+        duration = 6.0
+        bound = net.config.window_size * (duration / net.config.request_lifetime + 1)
+        assert stats.chunks_requested <= bound
+        assert stats.timeouts > 0
+
+
+class TestKeyIsolation:
+    def test_attacker_cannot_unwrap_client_master_key(self, net):
+        client = attach_client(net, "client-0")
+        client.start(at=0.0, until=2.0)
+        net.run(until=4.0)
+        blob_holder = SimulatedKeyPair.generate(net.sim.rng.stream("mallory"))
+        from repro.crypto.keywrap import KeyWrapError, wrap_key, unwrap_key
+
+        blob = wrap_key(client.keypair.public, net.provider.master_key)
+        with pytest.raises(KeyWrapError):
+            unwrap_key(blob_holder, blob)

@@ -1,0 +1,201 @@
+"""Behavioural tests for Protocol 2 (edge router), driven over mini_net."""
+
+import pytest
+
+from repro.core.access_path import expected_access_path
+from repro.ndn.name import Name
+from repro.ndn.node import Node
+from repro.ndn.packets import Data, Interest, Nack
+
+from tests.conftest import build_mini_net
+
+
+class Probe(Node):
+    """A bare node that records everything it receives."""
+
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id, cs_capacity=0)
+        self.interests = []
+        self.datas = []
+        self.nacks = []
+
+    def on_interest(self, interest, in_face):
+        self.interests.append(interest)
+
+    def on_data(self, data, in_face):
+        self.datas.append(data)
+
+    def on_nack(self, nack, in_face):
+        self.nacks.append(nack)
+
+
+@pytest.fixture
+def net():
+    return build_mini_net()
+
+
+@pytest.fixture
+def probe(net):
+    """A probe client behind the access point."""
+    probe = Probe(net.sim, "probe")
+    net.network.add_node(probe, routable=False)
+    net.network.connect(probe, net.ap, bandwidth_bps=10e6, latency=0.002)
+    return probe
+
+
+def issue_tag(net, user_id="probe", level=3, ap_ids=("ap-0",), expiry_at=None):
+    net.provider.directory.enroll(user_id, level)
+    tag = net.provider.issue_tag_direct(user_id, expected_access_path(ap_ids))
+    if expiry_at is not None:
+        tag = type(tag)(
+            provider_key_locator=tag.provider_key_locator,
+            client_key_locator=tag.client_key_locator,
+            access_level=tag.access_level,
+            access_path=tag.access_path,
+            expiry=expiry_at,
+        ).sign_with(net.provider.keypair)
+    return tag
+
+
+def send(net, probe, interest):
+    net.sim.schedule(0.0, probe.faces[0].send, interest)
+
+
+class TestInterestPath:
+    def test_valid_tag_forwarded_with_f_zero_first_time(self, net, probe):
+        tag = issue_tag(net)
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        send(net, probe, Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=tag))
+        net.run()
+        assert len(upstream) == 1
+        assert upstream[0].flag_f == 0.0  # not yet in the edge BF
+
+    def test_bf_hit_sets_nonzero_flag(self, net, probe):
+        tag = issue_tag(net)
+        net.edge.bloom.insert(tag.cache_key())
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        send(net, probe, Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=tag))
+        net.run()
+        assert upstream[0].flag_f > 0.0
+
+    def test_expired_tag_dropped_silently(self, net, probe):
+        tag = issue_tag(net, expiry_at=0.0)
+        net.sim.schedule(1.0, lambda: None)  # advance the clock past expiry
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        net.sim.schedule(
+            1.0, probe.faces[0].send, Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=tag)
+        )
+        net.run()
+        assert upstream == []
+        assert probe.nacks == []  # Protocol 1 failures drop, no NACK
+        assert net.edge.counters.precheck_drops == 1
+
+    def test_wrong_provider_prefix_dropped(self, net, probe):
+        tag = issue_tag(net)
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        send(net, probe, Interest(name=Name("/prov-9/obj-0/chunk-0"), tag=tag))
+        net.run()
+        assert upstream == []
+        assert net.edge.counters.precheck_drops == 1
+
+    def test_access_path_mismatch_nacked(self, net, probe):
+        tag = issue_tag(net, ap_ids=("ap-elsewhere",))
+        send(net, probe, Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=tag))
+        net.run()
+        assert len(probe.nacks) == 1
+        assert net.edge.counters.access_path_drops == 1
+
+    def test_access_path_check_disabled(self, probe_config_net=None):
+        net = build_mini_net()
+        net.config.enable_access_path = False
+        probe = Probe(net.sim, "probe")
+        net.network.add_node(probe, routable=False)
+        net.network.connect(probe, net.ap, bandwidth_bps=10e6, latency=0.002)
+        tag = issue_tag(net, ap_ids=("ap-elsewhere",))
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        send(net, probe, Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=tag))
+        net.run()
+        assert len(upstream) == 1  # mismatch ignored when disabled
+
+    def test_tagless_interest_forwarded_with_f_zero(self, net, probe):
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        send(net, probe, Interest(name=Name("/prov-0/obj-0/chunk-0")))
+        net.run()
+        assert len(upstream) == 1
+        assert upstream[0].tag is None
+
+    def test_registration_bypasses_tag_checks(self, net, probe):
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        send(net, probe, Interest(name=Name("/prov-0/register/probe/1")))
+        net.run()
+        assert len(upstream) == 1
+
+    def test_aggregation_at_edge(self, net, probe):
+        tag = issue_tag(net)
+        upstream = []
+        net.core1.on_interest = lambda i, f: upstream.append(i)
+        name = Name("/prov-0/obj-0/chunk-0")
+        send(net, probe, Interest(name=name, tag=tag))
+        send(net, probe, Interest(name=name, tag=tag))
+        net.run()
+        assert len(upstream) == 1  # second aggregated into the PIT
+
+
+class TestContentPath:
+    def test_end_to_end_delivery_inserts_tag(self, net, probe):
+        tag = issue_tag(net)
+        send(net, probe, Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=tag))
+        net.run()
+        assert len(probe.datas) == 1
+        assert probe.datas[0].nack is None
+        # The content router vouched with F == 0, so the edge inserted.
+        assert net.edge.bloom.contains(tag.cache_key())
+        assert net.edge.counters.bf_inserts == 1
+
+    def test_invalid_signature_blocked_at_edge(self, net, probe):
+        tag = issue_tag(net)
+        forged = type(tag)(
+            provider_key_locator=tag.provider_key_locator,
+            client_key_locator=tag.client_key_locator,
+            access_level=tag.access_level,
+            access_path=tag.access_path,
+            expiry=tag.expiry,
+            signature=b"x" * 32,
+        )
+        send(net, probe, Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=forged))
+        net.run()
+        assert probe.datas == []  # NACKed content never reaches the client
+        assert not net.edge.bloom.contains(forged.cache_key())
+
+    def test_registration_response_inserted_and_delivered(self, net, probe):
+        net.provider.directory.enroll("probe", 3)
+        secret = net.provider.directory._entries["probe"].secret
+        send(
+            net,
+            probe,
+            Interest(name=Name("/prov-0/register/probe/1"), credentials=secret),
+        )
+        net.run()
+        assert len(probe.datas) == 1
+        response = probe.datas[0]
+        assert response.is_tag_response()
+        assert net.edge.bloom.contains(response.tag_response.cache_key())
+
+    def test_second_request_served_from_cache_with_flag(self, net, probe):
+        tag = issue_tag(net)
+        name = Name("/prov-0/obj-0/chunk-0")
+        send(net, probe, Interest(name=name, tag=tag))
+        net.run()
+        # Second request: tag now in edge BF, content cached at core1.
+        origin_served_before = net.provider.stats.chunks_served
+        net.sim.schedule(0.0, probe.faces[0].send, Interest(name=name, tag=tag))
+        net.run()
+        assert len(probe.datas) == 2
+        assert net.provider.stats.chunks_served == origin_served_before

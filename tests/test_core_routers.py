@@ -1,0 +1,246 @@
+"""Behavioural tests for Protocols 3 and 4 (content/intermediate routers)."""
+
+import pytest
+
+from repro.core.access_path import ZERO_PATH
+from repro.core.tag import Tag
+from repro.ndn.name import Name
+from repro.ndn.node import Node
+from repro.ndn.packets import Data, Interest, NackReason
+
+from tests.conftest import build_mini_net
+
+
+class Probe(Node):
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id, cs_capacity=0)
+        self.datas = []
+        self.nacks = []
+
+    def on_data(self, data, in_face):
+        self.datas.append(data)
+
+    def on_nack(self, nack, in_face):
+        self.nacks.append(nack)
+
+
+@pytest.fixture
+def net():
+    return build_mini_net()
+
+
+@pytest.fixture
+def downstream(net):
+    """A probe attached directly to core1 (bypassing the edge), so tests
+    can exercise core-router logic with hand-set F values."""
+    probe = Probe(net.sim, "downstream")
+    net.network.add_node(probe, routable=False)
+    net.network.connect(probe, net.core1, bandwidth_bps=500e6, latency=0.001)
+    return probe
+
+
+def valid_tag(net, user="u1", level=3):
+    net.provider.directory.enroll(user, level)
+    return net.provider.issue_tag_direct(user, ZERO_PATH)
+
+
+def forged_tag(tag):
+    return Tag(
+        provider_key_locator=tag.provider_key_locator,
+        client_key_locator=tag.client_key_locator,
+        access_level=tag.access_level,
+        access_path=tag.access_path,
+        expiry=tag.expiry,
+        signature=b"bogus" * 6 + b"xx",
+    )
+
+
+def cache_chunk(net, router, name="/prov-0/obj-0/chunk-0", level=1):
+    data = Data(
+        name=Name(name),
+        payload=b"z" * 64,
+        access_level=level,
+        provider_key_locator=net.provider.key_locator,
+    )
+    router.cs.insert(data)
+    return Name(name)
+
+
+class TestContentRouterProtocol3:
+    def test_f_zero_unknown_valid_tag_verifies_and_inserts(self, net, downstream):
+        tag = valid_tag(net)
+        name = cache_chunk(net, net.core1)
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=0.0)
+        )
+        net.run()
+        assert len(downstream.datas) == 1
+        assert downstream.datas[0].nack is None
+        assert downstream.datas[0].flag_f == 0.0
+        assert net.core1.counters.signature_verifications == 1
+        assert net.core1.bloom.contains(tag.cache_key())
+
+    def test_f_zero_known_tag_skips_verification(self, net, downstream):
+        tag = valid_tag(net)
+        name = cache_chunk(net, net.core1)
+        net.core1.bloom.insert(tag.cache_key())
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=0.0)
+        )
+        net.run()
+        assert net.core1.counters.signature_verifications == 0
+        assert net.core1.counters.bf_lookups == 1
+        assert downstream.datas[0].flag_f == 0.0
+
+    def test_f_zero_invalid_tag_gets_nack_with_content(self, net, downstream):
+        tag = forged_tag(valid_tag(net))
+        name = cache_chunk(net, net.core1)
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=0.0)
+        )
+        net.run()
+        assert len(downstream.datas) == 1  # content still flows downstream
+        assert downstream.datas[0].nack is not None
+        assert downstream.datas[0].nack.reason is NackReason.INVALID_SIGNATURE
+        assert not net.core1.bloom.contains(tag.cache_key())
+
+    def test_nonzero_f_trusts_edge_with_high_probability(self, net, downstream):
+        tag = forged_tag(valid_tag(net))  # even a forged tag rides trust
+        name = cache_chunk(net, net.core1)
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=1e-9)
+        )
+        net.run()
+        # With F = 1e-9 the router essentially never re-validates.
+        assert net.core1.counters.signature_verifications == 0
+        assert downstream.datas[0].nack is None
+        assert downstream.datas[0].flag_f == pytest.approx(1e-9)  # F echoed
+
+    def test_nonzero_f_revalidates_with_probability_f(self, net, downstream):
+        tag = forged_tag(valid_tag(net))
+        name = cache_chunk(net, net.core1)
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=1.0)
+        )
+        net.run()
+        # F = 1.0 forces re-validation; the forgery is caught.
+        assert net.core1.counters.signature_verifications == 1
+        assert downstream.datas[0].nack is not None
+
+    def test_public_content_served_without_any_tag_ops(self, net, downstream):
+        name = cache_chunk(net, net.core1, level=None)
+        net.sim.schedule(0.0, downstream.faces[0].send, Interest(name=name))
+        net.run()
+        assert len(downstream.datas) == 1
+        assert downstream.datas[0].nack is None
+        assert net.core1.counters.bf_lookups == 0
+        assert net.core1.counters.signature_verifications == 0
+
+    def test_private_content_without_tag_nacked(self, net, downstream):
+        name = cache_chunk(net, net.core1, level=1)
+        net.sim.schedule(0.0, downstream.faces[0].send, Interest(name=name))
+        net.run()
+        assert downstream.datas[0].nack is not None
+        assert downstream.datas[0].nack.reason is NackReason.NO_TAG
+
+    def test_insufficient_access_level_nacked_before_crypto(self, net, downstream):
+        tag = valid_tag(net, user="lowly", level=1)
+        name = cache_chunk(net, net.core1, level=3)
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=0.0)
+        )
+        net.run()
+        assert downstream.datas[0].nack.reason is NackReason.ACCESS_LEVEL
+        assert net.core1.counters.signature_verifications == 0  # pre-check short-circuits
+        assert net.core1.counters.precheck_drops == 1
+
+    def test_key_locator_mismatch_nacked(self, net, downstream):
+        tag = valid_tag(net)
+        name = Name("/prov-0/obj-0/chunk-1")
+        data = Data(
+            name=name,
+            payload=b"z",
+            access_level=1,
+            provider_key_locator="/someone-else/KEY/pub",
+        )
+        net.core1.cs.insert(data)
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=0.0)
+        )
+        net.run()
+        assert downstream.datas[0].nack.reason is NackReason.KEY_MISMATCH
+
+
+class TestIntermediateRouterProtocol4:
+    def two_probes(self, net):
+        a = Probe(net.sim, "probe-a")
+        b = Probe(net.sim, "probe-b")
+        for probe in (a, b):
+            net.network.add_node(probe, routable=False)
+            net.network.connect(probe, net.core1, bandwidth_bps=500e6, latency=0.001)
+        return a, b
+
+    def test_aggregated_valid_tag_verified_and_delivered(self, net):
+        a, b = self.two_probes(net)
+        tag_a, tag_b = valid_tag(net, "ua"), valid_tag(net, "ub")
+        name = Name("/prov-0/obj-0/chunk-0")
+        # Two interests for the same (uncached) chunk: the second is
+        # aggregated at core1; content comes from the provider.
+        net.sim.schedule(0.0, a.faces[0].send, Interest(name=name, tag=tag_a, flag_f=0.0))
+        net.sim.schedule(0.0, b.faces[0].send, Interest(name=name, tag=tag_b, flag_f=0.0))
+        net.run()
+        assert len(a.datas) == 1 and len(b.datas) == 1
+        assert a.datas[0].nack is None and b.datas[0].nack is None
+        # The aggregated tag was signature-verified at core1 and inserted.
+        assert net.core1.bloom.contains(tag_b.cache_key()) or net.core1.bloom.contains(
+            tag_a.cache_key()
+        )
+
+    def test_aggregated_forged_tag_gets_nack_others_unharmed(self, net):
+        a, b = self.two_probes(net)
+        tag_a = valid_tag(net, "ua")
+        tag_b = forged_tag(valid_tag(net, "ub"))
+        name = Name("/prov-0/obj-0/chunk-0")
+        net.sim.schedule(0.0, a.faces[0].send, Interest(name=name, tag=tag_a, flag_f=0.0))
+        net.sim.schedule(0.0, b.faces[0].send, Interest(name=name, tag=tag_b, flag_f=0.0))
+        net.run()
+        outcomes = {}
+        for probe in (a, b):
+            assert len(probe.datas) == 1
+            outcomes[probe.node_id] = probe.datas[0].nack
+        # Exactly one of the two got a NACK (whichever carried the forgery
+        # on the non-primary slot; the primary was validated upstream).
+        nacks = [n for n in outcomes.values() if n is not None]
+        assert len(nacks) == 1
+
+    def test_aggregated_low_level_tag_caught_by_precheck(self, net):
+        a, b = self.two_probes(net)
+        tag_a = valid_tag(net, "ua", level=3)
+        tag_b = valid_tag(net, "lowly", level=0)
+        name = Name("/prov-0/obj-0/chunk-0")  # catalog publishes level >= 1
+        net.sim.schedule(0.0, a.faces[0].send, Interest(name=name, tag=tag_a, flag_f=0.0))
+        net.sim.schedule(0.0, b.faces[0].send, Interest(name=name, tag=tag_b, flag_f=0.0))
+        net.run()
+        got_nack = [p for p in (a, b) if p.datas and p.datas[0].nack is not None]
+        assert len(got_nack) == 1
+
+    def test_content_cached_after_distribution(self, net, downstream):
+        tag = valid_tag(net)
+        name = Name("/prov-0/obj-0/chunk-0")
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, tag=tag, flag_f=0.0)
+        )
+        net.run()
+        assert name in net.core1.cs
+        assert name in net.core2.cs
+
+    def test_registration_response_not_cached(self, net, downstream):
+        net.provider.directory.enroll("downstream", 3)
+        secret = net.provider.directory._entries["downstream"].secret
+        name = Name("/prov-0/register/downstream/1")
+        net.sim.schedule(
+            0.0, downstream.faces[0].send, Interest(name=name, credentials=secret)
+        )
+        net.run()
+        assert len(downstream.datas) == 1
+        assert name not in net.core1.cs

@@ -1,0 +1,199 @@
+"""Unit tests for tags, access levels, access paths, and Protocol 1."""
+
+import random
+
+import pytest
+
+from repro.core.access_level import PUBLIC, satisfies, validate_level
+from repro.core.access_path import ZERO_PATH, expected_access_path, paths_match
+from repro.core.precheck import content_precheck, edge_precheck
+from repro.core.tag import Tag, make_tag
+from repro.crypto.hashing import rolling_xor_hash
+from repro.crypto.sim_signature import SimulatedKeyPair
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, NackReason
+
+
+@pytest.fixture(scope="module")
+def provider_keypair():
+    return SimulatedKeyPair.generate(random.Random(77))
+
+
+def fresh_tag(provider_keypair, **overrides):
+    fields = dict(
+        provider_key_locator="/prov-0/KEY/pub",
+        client_key_locator="/client-0/KEY/pub",
+        access_level=2,
+        access_path=ZERO_PATH,
+        expiry=100.0,
+    )
+    fields.update(overrides)
+    return make_tag(provider_keypair=provider_keypair, **fields)
+
+
+class TestAccessLevels:
+    def test_satisfies_matrix(self):
+        assert satisfies(2, 1)
+        assert satisfies(2, 2)
+        assert not satisfies(1, 2)
+        assert satisfies(None, PUBLIC)
+        assert satisfies(0, PUBLIC)
+        assert not satisfies(None, 0)
+        assert satisfies(0, 0)
+
+    def test_validate_level(self):
+        assert validate_level(None) is None
+        assert validate_level(3) == 3
+        with pytest.raises(ValueError):
+            validate_level(-1)
+
+
+class TestAccessPath:
+    def test_expected_path_is_rolling_hash(self):
+        assert expected_access_path(["ap-3"]) == rolling_xor_hash(["ap-3"])
+
+    def test_match(self):
+        path = expected_access_path(["ap-1"])
+        assert paths_match(path, path)
+        assert not paths_match(path, expected_access_path(["ap-2"]))
+
+    def test_empty_path_is_zero(self):
+        assert expected_access_path([]) == ZERO_PATH
+
+
+class TestTagSigning:
+    def test_roundtrip(self, provider_keypair):
+        tag = fresh_tag(provider_keypair)
+        assert tag.verify_signature(provider_keypair.public)
+
+    def test_unsigned_tag_fails(self, provider_keypair):
+        bare = Tag(
+            provider_key_locator="/prov-0/KEY/pub",
+            client_key_locator="/c/KEY/pub",
+            access_level=1,
+            access_path=ZERO_PATH,
+            expiry=10.0,
+        )
+        assert not bare.verify_signature(provider_keypair.public)
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"access_level": 3},
+            {"expiry": 999.0},
+            {"provider_key_locator": "/prov-1/KEY/pub"},
+            {"client_key_locator": "/mallory/KEY/pub"},
+            {"access_path": b"\x01" * 32},
+        ],
+    )
+    def test_any_field_tamper_breaks_signature(self, provider_keypair, mutation):
+        tag = fresh_tag(provider_keypair)
+        fields = dict(
+            provider_key_locator=tag.provider_key_locator,
+            client_key_locator=tag.client_key_locator,
+            access_level=tag.access_level,
+            access_path=tag.access_path,
+            expiry=tag.expiry,
+        )
+        fields.update(mutation)
+        forged = Tag(signature=tag.signature, **fields)
+        assert not forged.verify_signature(provider_keypair.public)
+
+    def test_wrong_provider_key_fails(self, provider_keypair):
+        other = SimulatedKeyPair.generate(random.Random(88))
+        tag = fresh_tag(provider_keypair)
+        assert not tag.verify_signature(other.public)
+
+    def test_expiry(self, provider_keypair):
+        tag = fresh_tag(provider_keypair, expiry=50.0)
+        assert not tag.is_expired(49.9)
+        assert not tag.is_expired(50.0)
+        assert tag.is_expired(50.1)
+
+    def test_cache_key_stable_and_distinct(self, provider_keypair):
+        a = fresh_tag(provider_keypair)
+        b = fresh_tag(provider_keypair, access_level=3)
+        assert a.cache_key() == a.cache_key()
+        assert a.cache_key() != b.cache_key()
+
+    def test_cache_key_depends_on_signature(self, provider_keypair):
+        a = fresh_tag(provider_keypair)
+        forged = Tag(
+            provider_key_locator=a.provider_key_locator,
+            client_key_locator=a.client_key_locator,
+            access_level=a.access_level,
+            access_path=a.access_path,
+            expiry=a.expiry,
+            signature=b"f" * 32,
+        )
+        assert a.cache_key() != forged.cache_key()
+
+    def test_provider_prefix(self, provider_keypair):
+        assert fresh_tag(provider_keypair).provider_prefix() == Name("/prov-0")
+
+    def test_bad_access_path_length_rejected(self):
+        with pytest.raises(ValueError):
+            Tag("/p/KEY/pub", "/c/KEY/pub", 1, b"short", 1.0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            Tag("/p/KEY/pub", "/c/KEY/pub", -2, ZERO_PATH, 1.0)
+
+    def test_encoded_size_couple_hundred_bytes(self, provider_keypair):
+        assert 100 <= fresh_tag(provider_keypair).encoded_size() <= 400
+
+
+class TestEdgePrecheck:
+    def test_valid(self, provider_keypair):
+        tag = fresh_tag(provider_keypair)
+        assert edge_precheck(tag, "/prov-0/obj-1/chunk-0", now=10.0) is None
+
+    def test_prefix_mismatch(self, provider_keypair):
+        tag = fresh_tag(provider_keypair)
+        assert (
+            edge_precheck(tag, "/prov-1/obj-1/chunk-0", now=10.0)
+            is NackReason.PREFIX_MISMATCH
+        )
+
+    def test_expired(self, provider_keypair):
+        tag = fresh_tag(provider_keypair, expiry=5.0)
+        assert edge_precheck(tag, "/prov-0/obj-1/chunk-0", now=6.0) is NackReason.EXPIRED_TAG
+
+    def test_prefix_checked_before_expiry(self, provider_keypair):
+        tag = fresh_tag(provider_keypair, expiry=5.0)
+        assert (
+            edge_precheck(tag, "/prov-1/x", now=6.0) is NackReason.PREFIX_MISMATCH
+        )
+
+    def test_empty_name_rejected(self, provider_keypair):
+        tag = fresh_tag(provider_keypair)
+        assert edge_precheck(tag, "/", now=1.0) is NackReason.PREFIX_MISMATCH
+
+
+class TestContentPrecheck:
+    def make_data(self, level, locator="/prov-0/KEY/pub"):
+        return Data(
+            name=Name("/prov-0/obj/chunk"),
+            access_level=level,
+            provider_key_locator=locator,
+        )
+
+    def test_public_content_needs_nothing(self):
+        assert content_precheck(None, self.make_data(None)) is None
+
+    def test_private_without_tag(self):
+        assert content_precheck(None, self.make_data(1)) is NackReason.NO_TAG
+
+    def test_sufficient_level(self, provider_keypair):
+        tag = fresh_tag(provider_keypair, access_level=2)
+        assert content_precheck(tag, self.make_data(1)) is None
+        assert content_precheck(tag, self.make_data(2)) is None
+
+    def test_insufficient_level(self, provider_keypair):
+        tag = fresh_tag(provider_keypair, access_level=1)
+        assert content_precheck(tag, self.make_data(2)) is NackReason.ACCESS_LEVEL
+
+    def test_key_locator_mismatch(self, provider_keypair):
+        tag = fresh_tag(provider_keypair)
+        data = self.make_data(1, locator="/prov-1/KEY/pub")
+        assert content_precheck(tag, data) is NackReason.KEY_MISMATCH

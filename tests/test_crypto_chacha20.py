@@ -1,0 +1,80 @@
+"""Unit tests for ChaCha20, including the RFC 8439 vector."""
+
+import pytest
+
+from repro.crypto.chacha20 import ChaCha20, chacha20_decrypt, chacha20_encrypt
+
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000000000004a00000000")
+RFC_PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+RFC_CIPHERTEXT = bytes.fromhex(
+    "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+    "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+    "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+    "5af90bbf74a35be6b40b8eedf2785e42874d"
+)
+
+
+class TestRfcVector:
+    def test_encrypt_matches_rfc(self):
+        assert chacha20_encrypt(RFC_KEY, RFC_NONCE, RFC_PLAINTEXT, counter=1) == RFC_CIPHERTEXT
+
+    def test_decrypt_matches_rfc(self):
+        assert chacha20_decrypt(RFC_KEY, RFC_NONCE, RFC_CIPHERTEXT, counter=1) == RFC_PLAINTEXT
+
+
+class TestRoundtrip:
+    def test_roundtrip_various_lengths(self):
+        key, nonce = b"k" * 32, b"n" * 12
+        for length in (0, 1, 63, 64, 65, 128, 1000):
+            plaintext = bytes(range(256)) * 4
+            plaintext = plaintext[:length]
+            ciphertext = chacha20_encrypt(key, nonce, plaintext)
+            assert chacha20_decrypt(key, nonce, ciphertext) == plaintext
+
+    def test_different_nonce_different_ciphertext(self):
+        key = b"k" * 32
+        ct1 = chacha20_encrypt(key, b"a" * 12, b"message")
+        ct2 = chacha20_encrypt(key, b"b" * 12, b"message")
+        assert ct1 != ct2
+
+    def test_different_key_different_ciphertext(self):
+        nonce = b"n" * 12
+        ct1 = chacha20_encrypt(b"a" * 32, nonce, b"message")
+        ct2 = chacha20_encrypt(b"b" * 32, nonce, b"message")
+        assert ct1 != ct2
+
+    def test_wrong_key_garbles(self):
+        ct = chacha20_encrypt(b"a" * 32, b"n" * 12, b"secret message")
+        assert chacha20_decrypt(b"b" * 32, b"n" * 12, ct) != b"secret message"
+
+
+class TestStreaming:
+    def test_incremental_equals_oneshot(self):
+        key, nonce = b"k" * 32, b"n" * 12
+        plaintext = bytes(range(256)) * 2  # spans multiple 64-byte blocks
+        oneshot = chacha20_encrypt(key, nonce, plaintext)
+        cipher = ChaCha20(key, nonce)
+        # NOTE: incremental calls must land on 64-byte block boundaries
+        # for keystream continuity.
+        incremental = cipher.encrypt(plaintext[:64]) + cipher.encrypt(plaintext[64:])
+        assert incremental == oneshot
+
+    def test_counter_offset(self):
+        key, nonce = b"k" * 32, b"n" * 12
+        full = chacha20_encrypt(key, nonce, b"\x00" * 128, counter=0)
+        second_block = chacha20_encrypt(key, nonce, b"\x00" * 64, counter=1)
+        assert full[64:] == second_block
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20(b"short", b"n" * 12)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20(b"k" * 32, b"toolongnonce!")

@@ -1,0 +1,135 @@
+"""Unit tests for key wrapping, the cost model, and hashing utilities."""
+
+import random
+
+import pytest
+
+from repro.crypto.cost_model import (
+    PAPER_COST_MODEL,
+    ZERO_COST_MODEL,
+    ComputationCostModel,
+    OpCost,
+    benchmark_local_costs,
+)
+from repro.crypto.hashing import (
+    entity_identity_hash,
+    rolling_xor_hash,
+    sha256,
+    sha256_int,
+    xor_fold,
+)
+from repro.crypto.keywrap import KeyWrapError, unwrap_key, wrap_key
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.sim_signature import SimulatedKeyPair
+
+
+class TestKeyWrap:
+    def test_roundtrip_simulated(self):
+        kp = SimulatedKeyPair.generate(random.Random(1))
+        blob = wrap_key(kp.public, b"C" * 32)
+        assert unwrap_key(kp, blob) == b"C" * 32
+
+    def test_roundtrip_rsa(self):
+        kp = generate_keypair(bits=512, rng=random.Random(2))
+        blob = wrap_key(kp.public, b"K" * 32)
+        assert unwrap_key(kp, blob) == b"K" * 32
+
+    def test_wrong_recipient_fails(self):
+        a = SimulatedKeyPair.generate(random.Random(3))
+        b = SimulatedKeyPair.generate(random.Random(4))
+        blob = wrap_key(a.public, b"K" * 32)
+        with pytest.raises(KeyWrapError):
+            unwrap_key(b, blob)
+
+    def test_corrupted_blob_fails(self):
+        kp = SimulatedKeyPair.generate(random.Random(5))
+        blob = bytearray(wrap_key(kp.public, b"K" * 32))
+        blob[-1] ^= 0xFF
+        with pytest.raises(KeyWrapError):
+            unwrap_key(kp, bytes(blob))
+
+    def test_truncated_blob_fails(self):
+        kp = SimulatedKeyPair.generate(random.Random(6))
+        with pytest.raises(KeyWrapError):
+            unwrap_key(kp, b"\x00")
+
+    def test_unsupported_key_type_rejected(self):
+        with pytest.raises(TypeError):
+            wrap_key(object(), b"K" * 32)
+        with pytest.raises(TypeError):
+            unwrap_key(object(), b"\x00\x0a" + b"x" * 40)
+
+    def test_wraps_are_randomized(self):
+        kp = SimulatedKeyPair.generate(random.Random(7))
+        assert wrap_key(kp.public, b"K" * 32) != wrap_key(kp.public, b"K" * 32)
+
+
+class TestCostModel:
+    def test_paper_model_has_published_means(self):
+        assert PAPER_COST_MODEL.mean("bf_lookup") == pytest.approx(9.14e-7)
+        assert PAPER_COST_MODEL.mean("bf_insert") == pytest.approx(3.35e-7)
+        assert PAPER_COST_MODEL.mean("signature_verify") == pytest.approx(1.12e-5)
+
+    def test_sampling_never_negative(self):
+        rng = random.Random(0)
+        cost = OpCost(mean=1e-7, std=1e-5)  # huge spread forces clamping
+        assert all(cost.sample(rng) >= 0.0 for _ in range(1000))
+
+    def test_zero_std_returns_mean(self):
+        rng = random.Random(0)
+        assert OpCost(mean=5.0, std=0.0).sample(rng) == 5.0
+
+    def test_unknown_op_costs_zero(self):
+        rng = random.Random(0)
+        assert ZERO_COST_MODEL.sample("anything", rng) == 0.0
+        assert PAPER_COST_MODEL.sample("nonexistent-op", rng) == 0.0
+
+    def test_with_overrides_does_not_mutate(self):
+        override = PAPER_COST_MODEL.with_overrides(bf_lookup=OpCost(1.0, 0.0))
+        assert override.mean("bf_lookup") == 1.0
+        assert PAPER_COST_MODEL.mean("bf_lookup") == pytest.approx(9.14e-7)
+        assert override.mean("bf_insert") == PAPER_COST_MODEL.mean("bf_insert")
+
+    def test_sample_mean_tracks_configured_mean(self):
+        rng = random.Random(42)
+        cost = OpCost(mean=1e-3, std=1e-5)
+        samples = [cost.sample(rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(1e-3, rel=0.01)
+
+    def test_local_benchmark_produces_positive_costs(self):
+        model = benchmark_local_costs(iterations=50)
+        for op in ("bf_lookup", "bf_insert", "signature_verify"):
+            assert model.mean(op) > 0.0
+
+    def test_empty_model_is_useful(self):
+        model = ComputationCostModel()
+        assert model.mean("x") == 0.0
+
+
+class TestHashing:
+    def test_sha256_str_and_bytes_agree(self):
+        assert sha256("abc") == sha256(b"abc")
+
+    def test_sha256_int_positive(self):
+        assert sha256_int("abc") > 0
+
+    def test_rolling_hash_empty_is_zero(self):
+        assert rolling_xor_hash([]) == b"\x00" * 32
+
+    def test_rolling_hash_order_independent(self):
+        assert rolling_xor_hash(["a", "b", "c"]) == rolling_xor_hash(["c", "a", "b"])
+
+    def test_rolling_hash_self_inverse(self):
+        # XOR-folding an entity twice cancels it out.
+        assert rolling_xor_hash(["a", "b", "b"]) == rolling_xor_hash(["a"])
+
+    def test_single_entity_equals_identity_hash(self):
+        assert rolling_xor_hash(["ap-1"]) == entity_identity_hash("ap-1")
+
+    def test_xor_fold_roundtrip(self):
+        a, b = sha256("x"), sha256("y")
+        assert xor_fold(xor_fold(a, b), b) == a
+
+    def test_xor_fold_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_fold(b"\x00" * 4, b"\x00" * 8)

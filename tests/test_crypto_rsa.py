@@ -1,0 +1,112 @@
+"""Unit tests for the from-scratch RSA implementation."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import (
+    RsaPublicKey,
+    _emsa_encode,
+    _is_probable_prime,
+    generate_keypair,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=512, rng=random.Random(1234))
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        rng = random.Random(0)
+        for p in (2, 3, 5, 7, 97, 7919, 104729):
+            assert _is_probable_prime(p, rng)
+
+    def test_known_composites(self):
+        rng = random.Random(0)
+        for n in (0, 1, 4, 100, 7917, 561, 41041):  # incl. Carmichael numbers
+            assert not _is_probable_prime(n, rng)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert 511 <= keypair.n.bit_length() <= 512
+
+    def test_key_identity(self, keypair):
+        # d inverts e modulo phi: m^(ed) == m (mod n)
+        m = 0xDEADBEEF
+        assert pow(pow(m, keypair.e, keypair.n), keypair.d, keypair.n) == m
+
+    def test_deterministic_with_seeded_rng(self):
+        a = generate_keypair(bits=512, rng=random.Random(7))
+        b = generate_keypair(bits=512, rng=random.Random(7))
+        assert a.n == b.n and a.d == b.d
+
+    def test_distinct_seeds_distinct_keys(self):
+        a = generate_keypair(bits=512, rng=random.Random(1))
+        b = generate_keypair(bits=512, rng=random.Random(2))
+        assert a.n != b.n
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        message = b"the quick brown fox"
+        signature = keypair.sign(message)
+        assert keypair.public.verify(message, signature)
+
+    def test_tampered_message_fails(self, keypair):
+        signature = keypair.sign(b"original")
+        assert not keypair.public.verify(b"tampered", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = bytearray(keypair.sign(b"msg"))
+        signature[5] ^= 0xFF
+        assert not keypair.public.verify(b"msg", bytes(signature))
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(bits=512, rng=random.Random(99))
+        signature = keypair.sign(b"msg")
+        assert not other.public.verify(b"msg", signature)
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        assert not keypair.public.verify(b"msg", b"short")
+
+    def test_oversized_signature_value_rejected(self, keypair):
+        bogus = (keypair.n + 1).to_bytes(keypair.byte_length + 1, "big")
+        assert not keypair.public.verify(b"msg", bogus[: keypair.byte_length])
+
+    def test_empty_message(self, keypair):
+        signature = keypair.sign(b"")
+        assert keypair.public.verify(b"", signature)
+
+    def test_signature_length_matches_modulus(self, keypair):
+        assert len(keypair.sign(b"x")) == keypair.byte_length
+
+
+class TestEmsaEncoding:
+    def test_structure(self):
+        em = _emsa_encode(b"hello", 64)
+        assert em[:2] == b"\x00\x01"
+        assert len(em) == 64
+        assert b"\x00" in em[2:]
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            _emsa_encode(b"hello", 32)  # SHA-256 DigestInfo needs > 51 bytes
+
+    def test_deterministic(self):
+        assert _emsa_encode(b"x", 64) == _emsa_encode(b"x", 64)
+
+
+class TestFingerprint:
+    def test_stable(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+
+    def test_distinct_keys_distinct_fingerprints(self, keypair):
+        other = generate_keypair(bits=512, rng=random.Random(5))
+        assert keypair.public.fingerprint() != other.public.fingerprint()
+
+    def test_reconstructed_key_same_fingerprint(self, keypair):
+        clone = RsaPublicKey(n=keypair.n, e=keypair.e)
+        assert clone.fingerprint() == keypair.public.fingerprint()

@@ -1,0 +1,113 @@
+"""Unit tests for simulated signatures and the PKI store."""
+
+import random
+
+import pytest
+
+from repro.crypto.pki import Certificate, CertificateStore, PkiError
+from repro.crypto.sim_signature import (
+    SimulatedKeyPair,
+    SimulatedPublicKey,
+    reset_registry,
+)
+
+
+class TestSimulatedSignatures:
+    def test_roundtrip(self):
+        kp = SimulatedKeyPair.generate(random.Random(1))
+        sig = kp.sign(b"message")
+        assert kp.public.verify(b"message", sig)
+
+    def test_tampered_message_fails(self):
+        kp = SimulatedKeyPair.generate(random.Random(1))
+        sig = kp.sign(b"message")
+        assert not kp.public.verify(b"messagE", sig)
+
+    def test_forged_signature_fails(self):
+        kp = SimulatedKeyPair.generate(random.Random(1))
+        assert not kp.public.verify(b"message", b"\x00" * 32)
+
+    def test_cross_key_verification_fails(self):
+        a = SimulatedKeyPair.generate(random.Random(1))
+        b = SimulatedKeyPair.generate(random.Random(2))
+        assert not b.public.verify(b"m", a.sign(b"m"))
+
+    def test_unregistered_fingerprint_fails(self):
+        ghost = SimulatedPublicKey(fp=b"\x01" * 32)
+        assert not ghost.verify(b"m", b"\x00" * 32)
+
+    def test_registry_reset_kills_verification(self):
+        from repro.crypto import sim_signature
+
+        kp = SimulatedKeyPair.generate(random.Random(3))
+        sig = kp.sign(b"m")
+        snapshot = dict(sim_signature._KEY_REGISTRY)
+        reset_registry()
+        try:
+            assert not kp.public.verify(b"m", sig)
+        finally:
+            # Restore every key other test modules registered at import.
+            sim_signature._KEY_REGISTRY.update(snapshot)
+
+    def test_deterministic_generation(self):
+        a = SimulatedKeyPair.generate(random.Random(9))
+        b = SimulatedKeyPair.generate(random.Random(9))
+        assert a.fp == b.fp
+
+
+class TestCertificateStore:
+    def make_cert(self, locator="/prov-0/KEY/pub", **kwargs):
+        kp = SimulatedKeyPair.generate(random.Random(11))
+        return Certificate(locator=locator, public_key=kp.public, **kwargs), kp
+
+    def test_register_and_lookup(self):
+        store = CertificateStore()
+        cert, _ = self.make_cert()
+        store.register(cert)
+        assert store.lookup("/prov-0/KEY/pub") is cert
+        assert "/prov-0/KEY/pub" in store
+        assert len(store) == 1
+
+    def test_unknown_locator_raises(self):
+        store = CertificateStore()
+        with pytest.raises(PkiError):
+            store.lookup("/nobody")
+
+    def test_idempotent_reregistration(self):
+        store = CertificateStore()
+        cert, _ = self.make_cert()
+        store.register(cert)
+        store.register(cert)  # same key: fine
+        assert len(store) == 1
+
+    def test_conflicting_registration_rejected(self):
+        store = CertificateStore()
+        cert, _ = self.make_cert()
+        other_kp = SimulatedKeyPair.generate(random.Random(12))
+        conflict = Certificate(locator=cert.locator, public_key=other_kp.public)
+        store.register(cert)
+        with pytest.raises(PkiError):
+            store.register(conflict)
+
+    def test_overwrite_flag(self):
+        store = CertificateStore()
+        cert, _ = self.make_cert()
+        other_kp = SimulatedKeyPair.generate(random.Random(13))
+        replacement = Certificate(locator=cert.locator, public_key=other_kp.public)
+        store.register(cert)
+        store.register(replacement, overwrite=True)
+        assert store.lookup(cert.locator).public_key == other_kp.public
+
+    def test_validity_window(self):
+        store = CertificateStore()
+        cert, _ = self.make_cert(issued_at=10.0, expires_at=20.0)
+        store.register(cert)
+        with pytest.raises(PkiError):
+            store.get_public_key(cert.locator, now=5.0)
+        assert store.get_public_key(cert.locator, now=15.0) is not None
+        with pytest.raises(PkiError):
+            store.get_public_key(cert.locator, now=25.0)
+
+    def test_try_get_returns_none_on_failure(self):
+        store = CertificateStore()
+        assert store.try_get_public_key("/ghost") is None

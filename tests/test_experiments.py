@@ -1,0 +1,200 @@
+"""Tests for the experiment harness and per-artifact reproductions.
+
+Each reproduction runs at a deliberately tiny scale here — the goal is
+to verify the harness end to end (structure, rendering, qualitative
+direction), not to regenerate the paper's exact magnitudes; the
+benchmarks directory does the larger runs.
+"""
+
+import pytest
+
+from repro.experiments import SCHEME_REGISTRY, Scenario, build_assembly, run_scenario
+from repro.experiments.fig5_latency import reproduce_fig5, render_fig5
+from repro.experiments.fig6_tag_rates import reproduce_fig6, render_fig6
+from repro.experiments.fig7_operations import reproduce_fig7, render_fig7
+from repro.experiments.fig8_bf_reset import reproduce_fig8, render_fig8
+from repro.experiments.report import render_series, render_table, sparkline
+from repro.experiments.table2_comparison import (
+    render_feature_matrix,
+    render_table2,
+    reproduce_table2,
+)
+from repro.experiments.table4_delivery import reproduce_table4, render_table4
+from repro.experiments.table5_bf_resets import reproduce_table5, render_table5
+
+TINY = dict(duration=4.0, seed=1, scale=0.15)
+
+
+class TestScenario:
+    def test_paper_topology_factory(self):
+        scenario = Scenario.paper_topology(2, duration=5.0, seed=9, scale=0.5)
+        assert scenario.label == "topo2@0.5"
+        assert scenario.config.duration == 5.0
+        assert len(scenario.plan.core_ids) == 90
+
+    def test_with_config_is_functional(self):
+        scenario = Scenario.paper_topology(1, **TINY)
+        changed = scenario.with_config(tag_expiry=99.0)
+        assert changed.config.tag_expiry == 99.0
+        assert scenario.config.tag_expiry != 99.0
+
+    def test_registry_covers_all_schemes(self):
+        assert set(SCHEME_REGISTRY) == {
+            "tactic", "no_bloom", "client_side", "provider_auth", "accconf"
+        }
+
+
+class TestAssembly:
+    def test_assembly_builds_every_plan_entity(self):
+        scenario = Scenario.paper_topology(1, **TINY)
+        assembly = build_assembly(scenario)
+        plan = scenario.plan
+        for node_id in (
+            plan.core_ids + plan.edge_ids + plan.provider_ids
+            + plan.ap_ids + plan.client_ids + plan.attacker_ids
+        ):
+            assert node_id in assembly.network.nodes
+        assert len(assembly.providers) == len(plan.provider_ids)
+        assert len(assembly.clients) == len(plan.client_ids)
+        assert len(assembly.attackers) == len(plan.attacker_ids)
+
+    def test_every_router_has_provider_routes(self):
+        scenario = Scenario.paper_topology(1, **TINY)
+        assembly = build_assembly(scenario)
+        for core_id in scenario.plan.core_ids:
+            node = assembly.network.node(core_id)
+            for provider in assembly.providers:
+                assert node.fib.lookup(provider.prefix / "obj-0") is not None
+
+    def test_rsa_scheme_assembly(self):
+        scenario = Scenario.paper_topology(1, **TINY).with_config(
+            signature_scheme="rsa", rsa_bits=512
+        )
+        assembly = build_assembly(scenario)
+        from repro.crypto.rsa import RsaKeyPair
+
+        assert isinstance(assembly.providers[0].keypair, RsaKeyPair)
+
+
+class TestFig5:
+    def test_structure_and_rendering(self):
+        points = reproduce_fig5(topologies=(1,), bf_sizes=(100, 1000), **TINY)
+        assert len(points) == 2
+        assert all(p.mean_latency > 0 for p in points)
+        assert all(len(p.series) >= 2 for p in points)
+        text = render_fig5(points)
+        assert "Fig. 5" in text and "topo1/bf100" in text
+
+
+class TestFig6:
+    def test_expiry_lowers_rate(self):
+        points = reproduce_fig6(
+            topologies=(1,), tag_expiries=(2.0, 50.0), duration=8.0, seed=1, scale=0.15
+        )
+        short, long = points
+        assert short.request_rate > long.request_rate
+        assert "Fig. 6" in render_fig6(points)
+
+
+class TestFig7:
+    def test_operation_ordering(self):
+        rows = reproduce_fig7(topologies=(1,), duration=6.0, seed=1, scale=0.2)
+        row = rows[0]
+        assert row.edge_lookups > row.edge_inserts
+        assert row.edge_lookups > row.core_lookups
+        assert "Fig. 7" in render_fig7(rows)
+
+
+class TestFig8:
+    def test_fpp_lever(self):
+        points = reproduce_fig8(
+            tag_expiries=(3.0,),
+            fpps=(1e-4, 1e-2),
+            duration=25.0,
+            seed=1,
+            scale=0.2,
+            bf_capacity=6,
+        )
+        low_fpp, high_fpp = points
+        assert low_fpp.edge_resets >= high_fpp.edge_resets
+        if high_fpp.edge_requests_per_reset and low_fpp.edge_requests_per_reset:
+            assert (
+                high_fpp.edge_requests_per_reset > low_fpp.edge_requests_per_reset
+            )
+        assert "Fig. 8" in render_fig8(points)
+
+
+class TestTable4:
+    def test_row_shape(self):
+        rows = reproduce_table4(topologies=(1,), **TINY)
+        row = rows[0]
+        assert row.client_ratio > 0.95
+        assert row.attacker_ratio < 0.05
+        assert row.client_received <= row.client_requested
+        assert "Table IV" in render_table4(rows)
+
+
+class TestTable5:
+    def test_bigger_filter_fewer_resets(self):
+        rows = reproduce_table5(
+            fpps=(1e-4,),
+            small_capacity=6,
+            large_capacity=60,
+            duration=25.0,
+            seed=1,
+            scale=0.2,
+            tag_expiry=3.0,
+        )
+        row = rows[0]
+        assert row.edge_resets_small > row.edge_resets_large
+        assert row.edge_improvement() > 0.5
+        assert "Table V" in render_table5(rows)
+
+
+class TestTable2:
+    def test_measured_comparison_direction(self):
+        measurements = reproduce_table2(duration=4.0, seed=1, scale=0.15)
+        by_scheme = {m.scheme: m for m in measurements}
+        assert by_scheme["tactic"].attacker_ratio < 0.05
+        assert by_scheme["client_side"].attacker_ratio > 0.9
+        assert (
+            by_scheme["no_bloom"].router_verifications
+            > by_scheme["tactic"].router_verifications
+        )
+        assert (
+            by_scheme["provider_auth"].origin_chunks_served
+            > by_scheme["tactic"].origin_chunks_served
+        )
+        text = render_table2(measurements)
+        assert "Table II" in text and "tactic" in text
+
+    def test_feature_matrix_renders(self):
+        assert "TACTIC" in render_feature_matrix()
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["col", "x"], [[1, 2.5], ["long-cell", 0.0001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_render_series(self):
+        text = render_series([(0.0, 1.0), (1.0, 2.0)], label="lat")
+        assert "lat" in text and "2" in text
+        assert "(empty series)" in render_series([], label="x")
+
+    def test_sparkline(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0]) == "▁▁"  # flat series does not crash
+
+
+class TestRunResultNetworkStats:
+    def test_bytes_and_drops_exposed(self):
+        result = run_scenario(Scenario.paper_topology(1, **TINY))
+        assert result.network_bytes() > 0
+        assert result.network_drops() >= 0
+        assert result.wall_seconds > 0

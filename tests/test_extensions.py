@@ -1,0 +1,370 @@
+"""Tests for the extensions: mobility, explicit revocation, traitor tracing."""
+
+import pytest
+
+from repro.core.access_path import expected_access_path
+from repro.core.attacker import Attacker, AttackerMode
+from repro.extensions import (
+    MobileClient,
+    MobilityManager,
+    RevocableCoreRouter,
+    RevocableEdgeRouter,
+    RevocationAuthority,
+    TracingEdgeRouter,
+    TraitorDetector,
+)
+from repro.extensions.explicit_revocation import (
+    RevocableTagFilter,
+    collect_revocable_routers,
+)
+from repro.crypto.cost_model import ZERO_COST_MODEL
+from repro.crypto.sim_signature import SimulatedKeyPair
+from repro.core.config import TacticConfig
+from repro.core.metrics import MetricsCollector
+from repro.core.provider import Provider
+from repro.crypto.pki import CertificateStore
+from repro.ndn.network import Network
+from repro.ndn.node import AccessPoint
+from repro.sim.engine import Simulator
+from repro.workload.catalog import build_catalog
+
+from tests.conftest import attach_client, build_mini_net
+
+
+# ----------------------------------------------------------------------
+# Explicit revocation
+# ----------------------------------------------------------------------
+class TestRevocableTagFilter:
+    def test_filter_api_compatibility(self):
+        f = RevocableTagFilter(capacity=50)
+        f.insert(b"tag")
+        assert f.contains(b"tag")
+        assert f.total_inserts == 1 and f.total_lookups == 1
+        assert not f.is_saturated()
+        f.reset()
+        assert not f.contains(b"tag")
+        assert f.reset_count == 1
+
+    def test_remove(self):
+        f = RevocableTagFilter(capacity=50)
+        f.insert(b"a")
+        f.insert(b"b")
+        assert f.remove(b"a")
+        assert not f.contains(b"a")
+        assert f.contains(b"b")
+        assert not f.remove(b"ghost")
+
+    def test_auto_reset(self):
+        f = RevocableTagFilter(capacity=5)
+        fired = [f.insert_with_auto_reset(f"t{i}".encode()) for i in range(10)]
+        assert any(fired)
+
+
+def build_revocable_net():
+    """mini-net variant with revocation-capable routers."""
+    config = TacticConfig(cost_model=ZERO_COST_MODEL, tag_expiry=30.0)
+    sim = Simulator(seed=9)
+    network = Network(sim)
+    cert_store = CertificateStore()
+    metrics = MetricsCollector()
+    provider = Provider(
+        sim, "prov-0", config, cert_store, SimulatedKeyPair.generate(sim.rng.stream("p"))
+    )
+    provider.publish_catalog([1, 2, 3])
+    edge = RevocableEdgeRouter(sim, "edge-0", config, cert_store, metrics)
+    core = RevocableCoreRouter(sim, "core-0", config, cert_store, metrics)
+    ap = AccessPoint(sim, "ap-0")
+    for node in (provider, edge, core):
+        network.add_node(node)
+    network.add_node(ap, routable=False)
+    network.connect(ap, edge, bandwidth_bps=10e6, latency=0.002)
+    network.connect(edge, core, bandwidth_bps=500e6, latency=0.001)
+    network.connect(core, provider, bandwidth_bps=500e6, latency=0.001)
+    ap.set_uplink(ap.face_toward(edge))
+    network.announce_prefix(provider.prefix, provider)
+
+    from repro.core.client import Client
+
+    keys = SimulatedKeyPair.generate(sim.rng.stream("alice"))
+    client = Client(
+        sim, "alice", config, build_catalog([provider]).accessible_to(3),
+        metrics.user("alice"), access_level=3, keypair=keys,
+    )
+    client.credentials["prov-0"] = provider.directory.enroll(
+        "alice", 3, public_key=keys.public
+    )
+    network.add_node(client, routable=False)
+    network.connect(client, ap, bandwidth_bps=10e6, latency=0.002)
+    return sim, network, config, provider, edge, core, client, metrics
+
+
+class TestExplicitRevocation:
+    def test_immediate_cutoff(self):
+        sim, network, config, provider, edge, core, client, metrics = (
+            build_revocable_net()
+        )
+        client.start(at=0.0, until=20.0)
+        authority = RevocationAuthority(
+            sim, routers=[edge, core], propagation_delay=0.01
+        )
+        events = []
+        revoke_at = 5.0
+        sim.schedule(revoke_at, lambda: events.append(
+            authority.revoke_user(provider, "alice")
+        ))
+        sim.run(until=22.0)
+
+        stats = metrics.user("alice")
+        event = events[0]
+        assert event.tag_keys, "provider should have tracked the issued tag"
+        # Tag expiry is 30 s — stock TACTIC would let alice run to the
+        # end; explicit revocation kills her within the propagation delay
+        # (plus requests already in flight).
+        grace = event.completes_at + 1.0
+        late = [t for t, _ in stats.latency_samples if t > grace]
+        assert stats.chunks_received > 0
+        assert late == []
+        # Re-registration is refused too.
+        assert stats.tags_received == 1
+
+    def test_provider_tracks_issued_tags(self):
+        sim, network, config, provider, edge, core, client, metrics = (
+            build_revocable_net()
+        )
+        client.start(at=0.0, until=3.0)
+        sim.run(until=5.0)
+        assert len(provider.issued_tags.get("alice", [])) == 1
+
+    def test_blacklist_beats_signature_verification(self):
+        sim, network, config, provider, edge, core, client, metrics = (
+            build_revocable_net()
+        )
+        provider.directory.enroll("bob", 3)
+        tag = provider.issue_tag_direct("bob", expected_access_path(["ap-0"]))
+        # Without revocation the signature verifies.
+        valid, _ = core.verify_tag_signature(tag)
+        assert valid
+        core.revoke_tag_key(tag.cache_key())
+        valid, _ = core.verify_tag_signature(tag)
+        assert not valid
+        found, _ = core.bf_lookup(tag)
+        assert not found
+
+    def test_collect_revocable_routers(self):
+        sim, network, config, provider, edge, core, client, metrics = (
+            build_revocable_net()
+        )
+        routers = collect_revocable_routers(network.nodes.values())
+        assert set(routers) == {edge, core}
+
+
+# ----------------------------------------------------------------------
+# Mobility
+# ----------------------------------------------------------------------
+def build_mobile_net():
+    net = build_mini_net()
+    # Second access point on the same edge router.
+    ap2 = AccessPoint(net.sim, "ap-1")
+    net.network.add_node(ap2, routable=False)
+    net.network.connect(ap2, net.edge, bandwidth_bps=10e6, latency=0.002)
+    ap2.set_uplink(ap2.face_toward(net.edge))
+
+    keys = SimulatedKeyPair.generate(net.sim.rng.stream("mob"))
+    client = MobileClient(
+        net.sim, "mobile-0", net.config,
+        build_catalog([net.provider]).accessible_to(3),
+        net.metrics.user("mobile-0"), access_level=3, keypair=keys,
+    )
+    client.credentials["prov-0"] = net.provider.directory.enroll(
+        "mobile-0", 3, public_key=keys.public
+    )
+    net.network.add_node(client, routable=False)
+    net.network.connect(client, net.ap, bandwidth_bps=10e6, latency=0.002)  # face 0
+    net.network.connect(client, ap2, bandwidth_bps=10e6, latency=0.002)     # face 1
+    return net, client
+
+
+class TestMobility:
+    def test_handover_triggers_reregistration(self):
+        net, client = build_mobile_net()
+        client.start(at=0.0, until=10.0)
+        net.sim.schedule(4.0, client.migrate, 1)
+        net.run(until=12.0)
+        stats = net.metrics.user("mobile-0")
+        assert client.mobility.migrations == 1
+        assert client.mobility.tags_invalidated >= 1
+        assert stats.tags_requested >= 2  # initial + post-handover
+        assert stats.delivery_ratio() > 0.9
+
+    def test_new_tag_binds_new_location(self):
+        net, client = build_mobile_net()
+        client.start(at=0.0, until=10.0)
+        net.sim.schedule(4.0, client.migrate, 1)
+        net.run(until=12.0)
+        tag = client.tags["prov-0"]
+        assert tag.access_path == expected_access_path(["ap-1"])
+
+    def test_old_location_tag_rejected_after_move(self):
+        net, client = build_mobile_net()
+        client.start(at=0.0, until=3.0)
+        net.run(until=3.5)
+        old_tag = client.tags["prov-0"]
+        assert old_tag.access_path == expected_access_path(["ap-0"])
+        before = net.edge.counters.access_path_drops
+        # Replay the old tag from the new location by hand.
+        client.migrate(1)
+        from repro.ndn.packets import Interest
+        from repro.ndn.name import Name
+
+        net.sim.schedule(
+            0.0,
+            client.uplink.send,
+            Interest(name=Name("/prov-0/obj-0/chunk-0"), tag=old_tag),
+        )
+        net.run(until=6.0)
+        assert net.edge.counters.access_path_drops > before
+
+    def test_responses_on_inactive_face_dropped(self):
+        net, client = build_mobile_net()
+        client.start(at=0.0, until=10.0)
+        # Migrate while requests are in flight.
+        net.sim.schedule(2.0004, client.migrate, 1)
+        net.run(until=12.0)
+        assert client.mobility.responses_lost_in_handover >= 0
+        assert net.metrics.user("mobile-0").delivery_ratio() > 0.8
+
+    def test_migrate_to_same_face_is_noop(self):
+        net, client = build_mobile_net()
+        client.migrate(client.active_face_index)
+        assert client.mobility.migrations == 0
+
+    def test_migrate_bad_index(self):
+        net, client = build_mobile_net()
+        with pytest.raises(IndexError):
+            client.migrate(9)
+
+    def test_mobility_manager_moves_everyone(self):
+        net, client = build_mobile_net()
+        client.start(at=0.0, until=20.0)
+        MobilityManager(net.sim, [client], interval=3.0, until=18.0)
+        net.run(until=22.0)
+        assert client.mobility.migrations >= 3
+        assert net.metrics.user("mobile-0").delivery_ratio() > 0.8
+
+    def test_mobility_manager_validates_interval(self):
+        net, client = build_mobile_net()
+        with pytest.raises(ValueError):
+            MobilityManager(net.sim, [client], interval=0.0, until=10.0)
+
+
+# ----------------------------------------------------------------------
+# Traitor tracing
+# ----------------------------------------------------------------------
+def build_tracing_net():
+    """Two APs on one tracing edge; access-path enforcement OFF so the
+    shared tag actually flows (the configuration tracing exists for)."""
+    config = TacticConfig(
+        cost_model=ZERO_COST_MODEL, tag_expiry=30.0, enable_access_path=False
+    )
+    sim = Simulator(seed=13)
+    network = Network(sim)
+    cert_store = CertificateStore()
+    metrics = MetricsCollector()
+    detector = TraitorDetector()
+    provider = Provider(
+        sim, "prov-0", config, cert_store, SimulatedKeyPair.generate(sim.rng.stream("p"))
+    )
+    provider.publish_catalog([1, 2, 3])
+    edge = TracingEdgeRouter(sim, "edge-0", config, cert_store, metrics, detector)
+    from repro.core.core_router import CoreRouter
+
+    core = CoreRouter(sim, "core-0", config, cert_store, metrics)
+    aps = [AccessPoint(sim, f"ap-{i}") for i in range(2)]
+    for node in (provider, edge, core):
+        network.add_node(node)
+    for ap in aps:
+        network.add_node(ap, routable=False)
+        network.connect(ap, edge, bandwidth_bps=10e6, latency=0.002)
+        ap.set_uplink(ap.face_toward(edge))
+    network.connect(edge, core, bandwidth_bps=500e6, latency=0.001)
+    network.connect(core, provider, bandwidth_bps=500e6, latency=0.001)
+    network.announce_prefix(provider.prefix, provider)
+
+    from repro.core.client import Client
+
+    keys = SimulatedKeyPair.generate(sim.rng.stream("alice"))
+    victim = Client(
+        sim, "alice", config, build_catalog([provider]).accessible_to(3),
+        metrics.user("alice"), access_level=3, keypair=keys,
+    )
+    victim.credentials["prov-0"] = provider.directory.enroll(
+        "alice", 3, public_key=keys.public
+    )
+    network.add_node(victim, routable=False)
+    network.connect(victim, aps[0], bandwidth_bps=10e6, latency=0.002)
+
+    freeloader = Attacker(
+        sim, "freeloader", config, build_catalog([provider]).private_only(),
+        metrics.user("freeloader", is_attacker=True),
+        mode=AttackerMode.SHARED_TAG, victim=victim,
+    )
+    network.add_node(freeloader, routable=False)
+    network.connect(freeloader, aps[1], bandwidth_bps=10e6, latency=0.002)
+    return sim, metrics, detector, edge, victim, freeloader
+
+
+class TestTraitorTracing:
+    def test_shared_tag_detected_and_cut_off(self):
+        sim, metrics, detector, edge, victim, freeloader = build_tracing_net()
+        victim.start(at=0.0, until=15.0)
+        freeloader.start(at=1.0, until=15.0)
+        sim.run(until=17.0)
+
+        assert len(detector.alerts) >= 1
+        alert = detector.alerts[0]
+        assert alert.client_key_locator == "/alice/KEY/pub"
+        assert alert.first_seen[0] != alert.second_seen[0]  # two locations
+        assert edge.traitor_drops > 0
+        # The freeloader got at most a brief window before detection.
+        stats = metrics.user("freeloader")
+        assert stats.chunks_received < stats.chunks_requested
+
+    def test_single_location_client_never_flagged(self):
+        sim, metrics, detector, edge, victim, freeloader = build_tracing_net()
+        victim.start(at=0.0, until=10.0)
+        # Freeloader never starts: only one location per tag.
+        sim.run(until=12.0)
+        assert detector.alerts == []
+        assert metrics.user("alice").delivery_ratio() > 0.9
+
+    def test_detection_feeds_revocation(self):
+        sim, metrics, detector, edge, victim, freeloader = build_tracing_net()
+        revoked = []
+        detector.on_alert = lambda alert: revoked.append(alert.client_key_locator)
+        victim.start(at=0.0, until=12.0)
+        freeloader.start(at=1.0, until=12.0)
+        sim.run(until=14.0)
+        assert revoked == ["/alice/KEY/pub"]
+        assert detector.flagged_clients() == {"/alice/KEY/pub"}
+
+    def test_expired_sighting_does_not_alert(self):
+        detector = TraitorDetector()
+        from repro.core.tag import Tag
+
+        tag = Tag("/p/KEY/pub", "/c/KEY/pub", 1, b"\x00" * 32, expiry=5.0,
+                  signature=b"s" * 32)
+        assert detector.observe(tag, b"\x01" * 32, "e1", now=1.0) is None
+        # Same tag, new location, but after the first sighting expired:
+        # a fresh tag lifetime would have been required anyway.
+        assert detector.observe(tag, b"\x02" * 32, "e1", now=9.0) is None
+        assert detector.alerts == []
+
+    def test_same_location_repeat_is_fine(self):
+        detector = TraitorDetector()
+        from repro.core.tag import Tag
+
+        tag = Tag("/p/KEY/pub", "/c/KEY/pub", 1, b"\x00" * 32, expiry=50.0,
+                  signature=b"s" * 32)
+        for _ in range(5):
+            assert detector.observe(tag, b"\x01" * 32, "e1", now=1.0) is None
+        assert detector.observations == 5

@@ -1,0 +1,170 @@
+"""Integration tests: full scenario runs through the experiment harness.
+
+These exercise the complete stack — topology plan, providers, TACTIC
+routers, access points, the client/attacker population, metrics — at a
+small scale (documented per test) so the suite stays fast while still
+reproducing the paper's qualitative outcomes.
+"""
+
+import pytest
+
+from repro.core.attacker import AttackerMode
+from repro.experiments import Scenario, run_scenario
+
+
+@pytest.fixture(scope="module")
+def tactic_result():
+    """One shared TACTIC run: Topology 1 at 25%, 8 virtual seconds."""
+    scenario = Scenario.paper_topology(1, duration=8.0, seed=3, scale=0.25)
+    return run_scenario(scenario)
+
+
+class TestTacticEndToEnd:
+    def test_clients_deliver_near_one(self, tactic_result):
+        assert tactic_result.client_delivery_ratio() > 0.98
+
+    def test_attackers_near_zero(self, tactic_result):
+        assert tactic_result.attacker_delivery_ratio() < 0.01
+
+    def test_clients_actually_requested_a_lot(self, tactic_result):
+        assert tactic_result.metrics.total_requested(False) > 1000
+
+    def test_attackers_throttled(self, tactic_result):
+        # Attacker request volume is orders of magnitude below clients'
+        # (windows stall on silent drops) — the Table IV shape.
+        clients = tactic_result.metrics.total_requested(False)
+        attackers = tactic_result.metrics.total_requested(True)
+        assert attackers * 20 < clients
+
+    def test_edge_dominates_core_computation(self, tactic_result):
+        edge = tactic_result.operation_counts(edge=True)
+        core = tactic_result.operation_counts(edge=False)
+        assert edge.bf_lookups > 10 * core.bf_lookups  # Fig. 7's story
+
+    def test_lookups_dwarf_verifications_at_edge(self, tactic_result):
+        edge = tactic_result.operation_counts(edge=True)
+        assert edge.bf_lookups > 100 * max(1, edge.signature_verifications)
+
+    def test_latency_series_nonempty_and_positive(self, tactic_result):
+        series = tactic_result.latency_series()
+        assert len(series) >= 5
+        assert all(latency > 0 for _, latency in series)
+
+    def test_tag_rates_positive(self, tactic_result):
+        q, r = tactic_result.tag_rates()
+        assert q > 0 and r > 0
+        assert r <= q  # cannot receive more tags than requested
+
+    def test_determinism(self):
+        a = run_scenario(Scenario.paper_topology(1, duration=4.0, seed=5, scale=0.15))
+        b = run_scenario(Scenario.paper_topology(1, duration=4.0, seed=5, scale=0.15))
+        assert a.delivery_table_row() == b.delivery_table_row()
+        assert a.sim.events_executed == b.sim.events_executed
+
+    def test_seed_changes_outcome(self):
+        a = run_scenario(Scenario.paper_topology(1, duration=4.0, seed=5, scale=0.15))
+        b = run_scenario(Scenario.paper_topology(1, duration=4.0, seed=6, scale=0.15))
+        assert a.sim.events_executed != b.sim.events_executed
+
+
+class TestTagExpirySweep:
+    def test_longer_expiry_fewer_registrations(self):
+        short = run_scenario(
+            Scenario.paper_topology(1, duration=12.0, seed=2, scale=0.2).with_config(
+                tag_expiry=3.0
+            )
+        )
+        long = run_scenario(
+            Scenario.paper_topology(1, duration=12.0, seed=2, scale=0.2).with_config(
+                tag_expiry=30.0
+            )
+        )
+        q_short, _ = short.tag_rates()
+        q_long, _ = long.tag_rates()
+        assert q_short > 1.5 * q_long  # Fig. 6's inset trend
+
+
+class TestBaselines:
+    def test_client_side_leaks_bandwidth_to_attackers(self):
+        result = run_scenario(
+            Scenario.paper_topology(
+                1, duration=6.0, seed=2, scale=0.2, scheme="client_side"
+            )
+        )
+        # Everyone gets (encrypted) content: the bandwidth-waste story.
+        assert result.attacker_delivery_ratio() > 0.9
+        assert result.client_delivery_ratio() > 0.9
+
+    def test_provider_auth_hammers_origin(self):
+        tactic = run_scenario(
+            Scenario.paper_topology(1, duration=6.0, seed=2, scale=0.2)
+        )
+        always_online = run_scenario(
+            Scenario.paper_topology(
+                1, duration=6.0, seed=2, scale=0.2, scheme="provider_auth"
+            )
+        )
+        tactic_origin = sum(p.stats.chunks_served for p in tactic.providers)
+        baseline_origin = sum(p.stats.chunks_served for p in always_online.providers)
+        # With caching disabled every request reaches the origin.
+        assert baseline_origin > 2 * tactic_origin
+
+    def test_no_bloom_pays_per_request_crypto(self):
+        tactic = run_scenario(
+            Scenario.paper_topology(1, duration=6.0, seed=2, scale=0.2)
+        )
+        ablation = run_scenario(
+            Scenario.paper_topology(1, duration=6.0, seed=2, scale=0.2, scheme="no_bloom")
+        )
+
+        def router_verifs(result):
+            return (
+                result.operation_counts(edge=True).signature_verifications
+                + result.operation_counts(edge=False).signature_verifications
+            )
+
+        # Same security outcome...
+        assert ablation.attacker_delivery_ratio() < 0.01
+        # ...but orders of magnitude more router crypto.
+        assert router_verifs(ablation) > 50 * max(1, router_verifs(tactic))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario.paper_topology(1, scheme="nonsense")
+
+
+class TestAttackerMixVariants:
+    def test_shared_tag_mode_in_full_scenario(self):
+        scenario = Scenario.paper_topology(
+            1,
+            duration=6.0,
+            seed=4,
+            scale=0.2,
+            attacker_modes=(AttackerMode.SHARED_TAG,),
+        )
+        result = run_scenario(scenario)
+        # Access path on (default): shared tags from other locations fail.
+        assert result.attacker_delivery_ratio() == 0.0
+
+    def test_shared_tag_succeeds_without_access_path(self):
+        scenario = Scenario.paper_topology(
+            1,
+            duration=6.0,
+            seed=4,
+            scale=0.2,
+            attacker_modes=(AttackerMode.SHARED_TAG,),
+        ).with_config(enable_access_path=False)
+        result = run_scenario(scenario)
+        assert result.attacker_delivery_ratio() > 0.5
+
+    def test_public_content_needs_no_tag(self):
+        scenario = Scenario.paper_topology(
+            1,
+            duration=6.0,
+            seed=4,
+            scale=0.2,
+            attacker_modes=(AttackerMode.NO_TAG,),
+        ).with_config(public_fraction=1.0)
+        result = run_scenario(scenario)
+        # With everything public, even tag-less "attackers" retrieve.
+        assert result.attacker_delivery_ratio() > 0.9

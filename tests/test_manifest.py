@@ -1,0 +1,173 @@
+"""Tests for content manifests and their end-to-end integrity story."""
+
+import random
+
+import pytest
+
+from repro.core.config import TacticConfig
+from repro.crypto.cost_model import ZERO_COST_MODEL
+from repro.crypto.sim_signature import SimulatedKeyPair
+from repro.ndn.manifest import MANIFEST_COMPONENT, Manifest, is_manifest_name
+from repro.ndn.name import Name
+from repro.ndn.node import Node
+from repro.ndn.packets import Interest
+
+from tests.conftest import build_mini_net
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return SimulatedKeyPair.generate(random.Random(31337))
+
+
+class TestManifestStructure:
+    def test_build_and_verify_chunks(self):
+        payloads = [f"chunk-{i}".encode() for i in range(10)]
+        manifest = Manifest.build("/prov/obj-0", payloads)
+        assert manifest.num_chunks == 10
+        for i, payload in enumerate(payloads):
+            assert manifest.verify_chunk(i, payload)
+
+    def test_tampered_chunk_detected(self):
+        manifest = Manifest.build("/prov/obj-0", [b"a", b"b"])
+        assert not manifest.verify_chunk(0, b"A")
+        assert not manifest.verify_chunk(1, b"a")  # wrong position too
+
+    def test_out_of_range_index(self):
+        manifest = Manifest.build("/p", [b"x"])
+        assert not manifest.verify_chunk(-1, b"x")
+        assert not manifest.verify_chunk(1, b"x")
+
+    def test_signature_roundtrip(self, keypair):
+        manifest = Manifest.build("/p/o", [b"a"]).sign_with(keypair)
+        assert manifest.verify_signature(keypair.public)
+        assert not Manifest.build("/p/o", [b"a"]).verify_signature(keypair.public)
+
+    def test_signature_covers_digests(self, keypair):
+        signed = Manifest.build("/p/o", [b"a", b"b"]).sign_with(keypair)
+        forged = Manifest(
+            object_prefix=signed.object_prefix,
+            chunk_digests=list(reversed(signed.chunk_digests)),
+            signature=signed.signature,
+        )
+        assert not forged.verify_signature(keypair.public)
+
+    def test_root_digest_stable_and_sensitive(self):
+        a = Manifest.build("/p", [b"a", b"b"])
+        b = Manifest.build("/p", [b"a", b"b"])
+        c = Manifest.build("/p", [b"a", b"c"])
+        assert a.root_digest() == b.root_digest()
+        assert a.root_digest() != c.root_digest()
+
+    def test_name_helpers(self):
+        manifest = Manifest.build("/prov/obj-3", [b"x"])
+        assert manifest.name == Name(f"/prov/obj-3/{MANIFEST_COMPONENT}")
+        assert is_manifest_name(manifest.name)
+        assert not is_manifest_name("/prov/obj-3/chunk-0")
+
+    def test_wire_roundtrip(self, keypair):
+        manifest = Manifest.build("/p/o", [b"a", b"b", b"c"]).sign_with(keypair)
+        decoded = Manifest.decode(manifest.encode())
+        assert decoded.object_prefix == manifest.object_prefix
+        assert decoded.chunk_digests == manifest.chunk_digests
+        assert decoded.verify_signature(keypair.public)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(ValueError):
+            Manifest.decode(b"xx")
+        with pytest.raises(ValueError):
+            Manifest.decode(b"\x00\x00\x00\x05WRONG-sig")
+
+
+class Probe(Node):
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id, cs_capacity=0)
+        self.datas = []
+
+    def on_data(self, data, in_face):
+        self.datas.append(data)
+
+
+class TestManifestEndToEnd:
+    def build(self):
+        net = build_mini_net(
+            TacticConfig(cost_model=ZERO_COST_MODEL, publish_manifests=True,
+                         tag_expiry=30.0)
+        )
+        probe = Probe(net.sim, "probe")
+        net.network.add_node(probe, routable=False)
+        net.network.connect(probe, net.ap, bandwidth_bps=10e6, latency=0.002)
+        net.provider.directory.enroll("probe", 3)
+        from repro.core.access_path import expected_access_path
+
+        tag = net.provider.issue_tag_direct("probe", expected_access_path(["ap-0"]))
+        return net, probe, tag
+
+    def fetch(self, net, probe, name, tag):
+        net.sim.schedule(0.0, probe.faces[0].send, Interest(name=Name(name), tag=tag))
+        net.run(until=net.sim.now + 2.0)
+
+    def test_manifest_retrievable_and_verifies_chunks(self):
+        net, probe, tag = self.build()
+        self.fetch(net, probe, "/prov-0/obj-0/manifest", tag)
+        assert len(probe.datas) == 1
+        manifest = Manifest.decode(probe.datas[0].payload)
+        assert manifest.verify_signature(net.provider.keypair.public)
+
+        # Fetch a chunk (possibly from an intermediate cache) and verify.
+        self.fetch(net, probe, "/prov-0/obj-0/chunk-4", tag)
+        chunk = probe.datas[1]
+        assert manifest.verify_chunk(4, chunk.payload)
+
+    def test_cache_poisoning_detected(self):
+        net, probe, tag = self.build()
+        self.fetch(net, probe, "/prov-0/obj-0/manifest", tag)
+        manifest = Manifest.decode(probe.datas[0].payload)
+
+        # Poison the core router's cache with a bogus chunk.
+        from repro.ndn.packets import Data
+
+        net.core1.cs.insert(
+            Data(
+                name=Name("/prov-0/obj-0/chunk-7"),
+                payload=b"\x00" * net.config.chunk_size_bytes,
+                access_level=1,
+                provider_key_locator=net.provider.key_locator,
+            )
+        )
+        self.fetch(net, probe, "/prov-0/obj-0/chunk-7", tag)
+        poisoned = probe.datas[1]
+        assert not manifest.verify_chunk(7, poisoned.payload)
+
+    def test_manifest_respects_access_control(self):
+        net, probe, tag = self.build()
+        # obj-0 is level 1; enroll a level-0 user whose tag cannot read it.
+        net.provider.directory.enroll("lowly", 0)
+        from repro.core.access_path import expected_access_path
+
+        low_tag = net.provider.issue_tag_direct("lowly", expected_access_path(["ap-0"]))
+        self.fetch(net, probe, "/prov-0/obj-0/manifest", low_tag)
+        assert probe.datas == [] or all(d.nack is not None for d in probe.datas)
+
+    def test_manifest_cached_like_content(self):
+        net, probe, tag = self.build()
+        self.fetch(net, probe, "/prov-0/obj-0/manifest", tag)
+        assert Name("/prov-0/obj-0/manifest") in net.core1.cs
+
+    def test_unknown_object_manifest_dropped(self):
+        net, probe, tag = self.build()
+        before = net.provider.unroutable_drops
+        self.fetch(net, probe, "/prov-0/obj-999/manifest", tag)
+        assert net.provider.unroutable_drops == before + 1
+
+    def test_manifests_disabled_by_default(self):
+        net = build_mini_net()
+        assert net.config.publish_manifests is False
+        probe = Probe(net.sim, "probe")
+        net.network.add_node(probe, routable=False)
+        net.network.connect(probe, net.ap, bandwidth_bps=10e6, latency=0.002)
+        net.sim.schedule(
+            0.0, probe.faces[0].send, Interest(name=Name("/prov-0/obj-0/manifest"))
+        )
+        net.run(until=2.0)
+        assert probe.datas == []  # falls through to unknown-chunk drop

@@ -1,0 +1,217 @@
+"""Unit tests for links, forwarding nodes, and access points."""
+
+import pytest
+
+from repro.crypto.hashing import xor_fold
+from repro.ndn import Data, Interest, Nack, NackReason, Name, Network, Node
+from repro.ndn.node import AccessPoint
+from repro.sim import Simulator
+
+
+def linear_net(*node_ids, bandwidth=500e6, latency=0.001):
+    """A chain of plain nodes connected left to right."""
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    nodes = [net.add_node(Node(sim, nid)) for nid in node_ids]
+    for a, b in zip(nodes, nodes[1:]):
+        net.connect(a, b, bandwidth_bps=bandwidth, latency=latency)
+    return sim, net, nodes
+
+
+class TestLinkTiming:
+    def test_latency_plus_serialization(self):
+        sim, net, (a, b) = linear_net("a", "b", bandwidth=10e6, latency=0.002)
+        received = []
+        b.on_interest = lambda i, f: received.append(sim.now)
+        interest = Interest(name=Name("/x"))
+        size_bits = interest.size_bytes() * 8
+        sim.schedule(0.0, a.faces[0].send, interest)
+        sim.run()
+        assert received[0] == pytest.approx(size_bits / 10e6 + 0.002)
+
+    def test_back_to_back_packets_queue(self):
+        sim, net, (a, b) = linear_net("a", "b", bandwidth=10e6, latency=0.002)
+        received = []
+        b.on_interest = lambda i, f: received.append(sim.now)
+        i1, i2 = Interest(name=Name("/x")), Interest(name=Name("/y"))
+        sim.schedule(0.0, a.faces[0].send, i1)
+        sim.schedule(0.0, a.faces[0].send, i2)
+        sim.run()
+        tx = i1.size_bytes() * 8 / 10e6
+        assert received[1] - received[0] == pytest.approx(tx)
+
+    def test_drop_tail(self):
+        sim, net, (a, b) = linear_net("a", "b", bandwidth=1e5, latency=0.001)
+        link = net.links[0]
+        link.queue_bytes = 256
+        data = Data(name=Name("/big"), payload=b"z" * 512)
+        delivered = []
+        b.on_data = lambda d, f: delivered.append(d)
+        for _ in range(10):
+            sim.schedule(0.0, a.faces[0].send, data.copy())
+        sim.run()
+        assert link.packets_dropped > 0
+        assert len(delivered) + link.packets_dropped == 10
+
+    def test_byte_accounting(self):
+        sim, net, (a, b) = linear_net("a", "b")
+        interest = Interest(name=Name("/x"))
+        sim.schedule(0.0, a.faces[0].send, interest)
+        sim.run()
+        assert net.links[0].bytes_sent == interest.size_bytes()
+        assert net.links[0].packets_sent == 1
+
+
+class TestForwarding:
+    def test_interest_follows_fib_and_data_reverse_path(self):
+        sim, net, (a, b, c) = linear_net("a", "b", "c")
+        net.announce_prefix("/prov", c)
+        c.cs.insert(Data(name=Name("/prov/1"), payload=b"p"))
+        got = []
+        a.on_data = lambda d, f: got.append(str(d.name))
+        sim.schedule(0.0, b.receive, Interest(name=Name("/prov/1")), b.face_toward(a))
+        sim.run()
+        assert got == ["/prov/1"]
+
+    def test_aggregation_single_upstream_interest(self):
+        sim, net, nodes = linear_net("x", "y", "z")
+        x, y, z = nodes
+        net.announce_prefix("/prov", z)
+        upstream = []
+        original = z.on_interest
+        z.on_interest = lambda i, f: upstream.append(i)
+        for nonce in (1, 2):
+            sim.schedule(
+                0.0,
+                y.receive,
+                Interest(name=Name("/prov/1"), nonce=nonce),
+                y.face_toward(x),
+            )
+        sim.run()
+        assert len(upstream) == 1  # second was aggregated at y
+
+    def test_unroutable_interest_dropped(self):
+        sim, net, (a, b) = linear_net("a", "b")
+        sim.schedule(0.0, b.receive, Interest(name=Name("/nowhere")), b.face_toward(a))
+        sim.run()
+        assert b.unroutable_drops == 1
+
+    def test_cache_fills_along_return_path(self):
+        sim, net, (a, b, c) = linear_net("a", "b", "c")
+        net.announce_prefix("/prov", c)
+        c.cs.insert(Data(name=Name("/prov/1"), payload=b"p"))
+        sim.schedule(0.0, a.faces[0].send, Interest(name=Name("/prov/1")))
+        sim.run()
+        assert Name("/prov/1") in b.cs
+
+    def test_face_toward_unknown_raises(self):
+        sim, net, (a, b) = linear_net("a", "b")
+        stranger = Node(sim, "stranger")
+        with pytest.raises(LookupError):
+            a.face_toward(stranger)
+
+
+class TestAccessPoint:
+    def build(self):
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        client = net.add_node(Node(sim, "client"), routable=False)
+        ap = net.add_node(AccessPoint(sim, "ap-0"), routable=False)
+        edge = net.add_node(Node(sim, "edge"))
+        net.connect(client, ap, bandwidth_bps=10e6, latency=0.002)
+        net.connect(ap, edge, bandwidth_bps=10e6, latency=0.002)
+        ap.set_uplink(ap.face_toward(edge))
+        return sim, net, client, ap, edge
+
+    def test_folds_identity_into_access_path(self):
+        sim, net, client, ap, edge = self.build()
+        seen = []
+        edge.on_interest = lambda i, f: seen.append(i)
+        sim.schedule(0.0, client.faces[0].send, Interest(name=Name("/p/1")))
+        sim.run()
+        expected = xor_fold(b"\x00" * 32, ap.identity_hash)
+        assert seen[0].observed_access_path == expected
+
+    def test_data_returns_to_requester(self):
+        sim, net, client, ap, edge = self.build()
+        got = []
+        client.on_data = lambda d, f: got.append(d)
+        edge.on_interest = lambda i, f: edge.send(f, Data(name=i.name, payload=b"x"))
+        sim.schedule(0.0, client.faces[0].send, Interest(name=Name("/p/1")))
+        sim.run()
+        assert len(got) == 1
+
+    def test_nack_routed_by_nonce(self):
+        sim, net, client, ap, edge = self.build()
+        got = []
+        client.on_nack = lambda n, f: got.append(n)
+        edge.on_interest = lambda i, f: edge.send(
+            f, Nack(name=i.name, reason=NackReason.ACCESS_PATH, nonce=i.nonce)
+        )
+        sim.schedule(0.0, client.faces[0].send, Interest(name=Name("/p/1")))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].reason is NackReason.ACCESS_PATH
+
+    def test_unsolicited_data_dropped(self):
+        sim, net, client, ap, edge = self.build()
+        got = []
+        client.on_data = lambda d, f: got.append(d)
+        sim.schedule(0.0, edge.faces[0].send, Data(name=Name("/p/1"), payload=b"x"))
+        sim.run()
+        assert got == []
+
+    def test_interest_from_uplink_dropped(self):
+        sim, net, client, ap, edge = self.build()
+        sim.schedule(0.0, edge.faces[0].send, Interest(name=Name("/p/1")))
+        sim.run()
+        assert ap.unroutable_drops == 1
+
+    def test_missing_uplink_raises(self):
+        sim = Simulator()
+        net = Network(sim)
+        ap = net.add_node(AccessPoint(sim, "ap"), routable=False)
+        node = net.add_node(Node(sim, "n"), routable=False)
+        net.connect(node, ap)
+        sim.schedule(0.0, node.faces[0].send, Interest(name=Name("/x")))
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+class TestNetwork:
+    def test_duplicate_node_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_node(Node(sim, "a"))
+        with pytest.raises(ValueError):
+            net.add_node(Node(sim, "a"))
+
+    def test_announce_prefers_shortest_path(self):
+        sim = Simulator(seed=3)
+        net = Network(sim)
+        a = net.add_node(Node(sim, "a"))
+        b = net.add_node(Node(sim, "b"))
+        c = net.add_node(Node(sim, "c"))
+        # Triangle: a-b slow (latency 10), a-c-b fast (1 + 1).
+        net.connect(a, b, latency=10.0)
+        net.connect(a, c, latency=1.0)
+        net.connect(c, b, latency=1.0)
+        net.announce_prefix("/p", b)
+        assert a.fib.lookup("/p/x").peer is c
+
+    def test_announce_from_nonroutable_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        hidden = net.add_node(Node(sim, "hidden"), routable=False)
+        other = net.add_node(Node(sim, "other"))
+        net.connect(hidden, other)
+        with pytest.raises(ValueError):
+            net.announce_prefix("/p", hidden)
+
+    def test_path_latency(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_node(Node(sim, "a"))
+        b = net.add_node(Node(sim, "b"))
+        net.connect(a, b, latency=0.005)
+        assert net.path_latency(a, b) == pytest.approx(0.005)

@@ -1,0 +1,91 @@
+"""Unit tests for hierarchical names."""
+
+import pytest
+
+from repro.ndn.name import Name
+
+
+class TestConstruction:
+    def test_from_uri(self):
+        n = Name("/a/b/c")
+        assert n.components == ("a", "b", "c")
+        assert len(n) == 3
+
+    def test_from_components(self):
+        assert Name(["a", "b"]) == Name("/a/b")
+
+    def test_root(self):
+        assert len(Name("/")) == 0
+        assert len(Name()) == 0
+        assert Name("/").to_uri() == "/"
+
+    def test_trailing_and_duplicate_slashes_normalized(self):
+        assert Name("/a/b/") == Name("/a/b")
+        assert Name("a/b") == Name("/a/b")
+
+    def test_from_name_is_identity(self):
+        n = Name("/a/b")
+        assert Name(n) is n  # fast-path: no reallocation
+
+    def test_component_with_slash_rejected(self):
+        with pytest.raises(ValueError):
+            Name(["a/b"])
+
+    def test_immutability(self):
+        n = Name("/a")
+        with pytest.raises(AttributeError):
+            n.components = ()
+
+
+class TestStructure:
+    def test_prefix(self):
+        n = Name("/a/b/c")
+        assert n.prefix(2) == Name("/a/b")
+        assert n.prefix(0) == Name("/")
+
+    def test_parent(self):
+        assert Name("/a/b").parent == Name("/a")
+        with pytest.raises(ValueError):
+            _ = Name("/").parent
+
+    def test_append_and_div(self):
+        assert Name("/a") / "b" == Name("/a/b")
+        assert Name("/a").append("b", "c") == Name("/a/b/c")
+
+    def test_indexing_and_iteration(self):
+        n = Name("/a/b/c")
+        assert n[0] == "a" and n[2] == "c"
+        assert list(n) == ["a", "b", "c"]
+
+
+class TestMatching:
+    def test_prefix_of(self):
+        assert Name("/a").is_prefix_of("/a/b/c")
+        assert Name("/").is_prefix_of("/anything")
+        assert Name("/a/b").is_prefix_of("/a/b")
+        assert not Name("/a/b").is_prefix_of("/a")
+        assert not Name("/a").is_prefix_of("/ab")  # component, not string, prefix
+
+
+class TestEqualityHashing:
+    def test_equality_with_string(self):
+        assert Name("/a/b") == "/a/b"
+        assert Name("/a/b") != "/a/c"
+
+    def test_hashable(self):
+        d = {Name("/a"): 1}
+        assert d[Name("/a")] == 1
+
+    def test_ordering(self):
+        assert Name("/a") < Name("/b")
+        assert Name("/a") < Name("/a/b")
+
+    def test_repr_roundtrip(self):
+        n = Name("/a/b")
+        assert eval(repr(n)) == n
+
+
+class TestWireSize:
+    def test_encoded_size(self):
+        assert Name("/ab/cd").encoded_size() == 2 * 2 + 4
+        assert Name("/").encoded_size() == 0

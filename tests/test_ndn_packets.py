@@ -1,0 +1,100 @@
+"""Unit tests for packet types and wire-size accounting."""
+
+from repro.core.tag import Tag
+from repro.ndn.name import Name
+from repro.ndn.packets import (
+    ACCESS_PATH_SIZE,
+    DATA_BASE_SIZE,
+    INTEREST_BASE_SIZE,
+    AttachedNack,
+    Data,
+    Interest,
+    Nack,
+    NackReason,
+)
+
+
+def make_tag(**overrides):
+    fields = dict(
+        provider_key_locator="/prov-0/KEY/pub",
+        client_key_locator="/client-0/KEY/pub",
+        access_level=2,
+        access_path=b"\x00" * 32,
+        expiry=100.0,
+        signature=b"s" * 32,
+    )
+    fields.update(overrides)
+    return Tag(**fields)
+
+
+class TestInterest:
+    def test_nonces_unique(self):
+        a, b = Interest(name=Name("/x")), Interest(name=Name("/x"))
+        assert a.nonce != b.nonce
+
+    def test_copy_is_independent(self):
+        i = Interest(name=Name("/x"))
+        clone = i.copy()
+        clone.flag_f = 0.5
+        assert i.flag_f == 0.0
+        assert clone.nonce == i.nonce  # copies keep identity fields
+
+    def test_registration_detection(self):
+        assert Interest(name=Name("/prov-0/register/client-1/7")).is_registration()
+        assert not Interest(name=Name("/prov-0/obj-1/chunk-0")).is_registration()
+        assert not Interest(name=Name("/prov-0")).is_registration()
+
+    def test_size_includes_tag(self):
+        bare = Interest(name=Name("/p/o/c"))
+        tagged = Interest(name=Name("/p/o/c"), tag=make_tag())
+        assert bare.size_bytes() == (
+            INTEREST_BASE_SIZE + Name("/p/o/c").encoded_size() + ACCESS_PATH_SIZE
+        )
+        assert tagged.size_bytes() == bare.size_bytes() + make_tag().encoded_size()
+
+    def test_size_includes_credentials(self):
+        with_creds = Interest(name=Name("/p/register/u/1"), credentials=b"c" * 32)
+        without = Interest(name=Name("/p/register/u/1"))
+        assert with_creds.size_bytes() == without.size_bytes() + 32
+
+    def test_tag_is_couple_hundred_bytes(self):
+        # The paper argues a tag is "a couple hundred bytes".
+        assert 100 <= make_tag().encoded_size() <= 400
+
+
+class TestData:
+    def test_payload_size_modes(self):
+        real = Data(name=Name("/x"), payload=b"z" * 100)
+        modelled = Data(name=Name("/x"), payload_size=100)
+        assert real.effective_payload_size() == modelled.effective_payload_size() == 100
+        assert real.size_bytes() == modelled.size_bytes()
+
+    def test_size_components(self):
+        d = Data(name=Name("/x"), payload=b"z" * 10)
+        base = DATA_BASE_SIZE + Name("/x").encoded_size() + 10 + 64
+        assert d.size_bytes() == base
+        d.tag = make_tag()
+        assert d.size_bytes() == base + make_tag().encoded_size()
+        d.nack = AttachedNack(tag_key=b"k", reason=NackReason.INVALID_SIGNATURE)
+        assert d.size_bytes() > base + make_tag().encoded_size()
+
+    def test_copy_is_shallow_but_independent(self):
+        d = Data(name=Name("/x"), payload=b"z")
+        clone = d.copy()
+        clone.flag_f = 0.9
+        clone.nack = AttachedNack(tag_key=b"", reason=NackReason.NO_TAG)
+        assert d.flag_f == 0.0 and d.nack is None
+
+    def test_tag_response_detection(self):
+        assert Data(name=Name("/x"), tag_response=make_tag()).is_tag_response()
+        assert not Data(name=Name("/x")).is_tag_response()
+
+
+class TestNack:
+    def test_size(self):
+        n = Nack(name=Name("/a/b"), reason=NackReason.EXPIRED_TAG)
+        assert n.size_bytes() > 0
+
+    def test_copy(self):
+        n = Nack(name=Name("/a"), reason=NackReason.NO_TAG, nonce=4)
+        assert n.copy().nonce == 4

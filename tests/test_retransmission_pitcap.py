@@ -1,0 +1,120 @@
+"""Tests for client retransmission and the PIT-capacity backstop."""
+
+import pytest
+
+from repro.ndn.name import Name
+from repro.ndn.packets import Interest
+from repro.ndn.pit import Pit, PitRecord
+
+from tests.conftest import attach_client, build_mini_net
+
+
+class TestRetransmission:
+    def test_disabled_by_default(self):
+        net = build_mini_net()
+        client = attach_client(net, "alice")
+        # Let registration succeed, then silence the provider so content
+        # requests for uncached chunks time out.
+        net.sim.schedule(1.5, setattr, net.provider, "online", False)
+        client.start(at=0.0, until=3.0)
+        net.run(until=5.0)
+        stats = net.metrics.user("alice")
+        assert stats.retransmissions == 0
+        assert stats.timeouts > 0
+
+    def test_retransmission_recovers_transient_outage(self):
+        net = build_mini_net()
+        net.config.max_retransmissions = 3
+        client = attach_client(net, "alice")
+        # Outage window shorter than retransmission budget: requests
+        # issued during it succeed on a later attempt.
+        net.sim.schedule(1.0, setattr, net.provider, "online", False)
+        net.sim.schedule(2.5, setattr, net.provider, "online", True)
+        client.start(at=0.0, until=8.0)
+        net.run(until=12.0)
+        stats = net.metrics.user("alice")
+        assert stats.retransmissions > 0
+        # The slots stuck in the outage recovered instead of timing out.
+        assert stats.delivery_ratio() > 0.99
+
+    def test_retransmission_budget_respected(self):
+        net = build_mini_net()
+        net.config.max_retransmissions = 2
+        client = attach_client(net, "alice")
+        # Registration succeeds, then a permanent outage.
+        net.sim.schedule(0.5, setattr, net.provider, "online", False)
+        client.start(at=0.0, until=2.0)
+        net.run(until=12.0)
+        stats = net.metrics.user("alice")
+        # Every outstanding request retried at most twice then gave up.
+        assert stats.retransmissions <= 2 * (stats.timeouts + len(client._outstanding))
+        assert stats.timeouts > 0
+
+    def test_retransmission_does_not_inflate_request_count(self):
+        # chunks_requested counts distinct chunks, not wire sends.
+        net = build_mini_net()
+        net.config.max_retransmissions = 3
+        client = attach_client(net, "alice")
+        net.provider.online = False
+        client.start(at=0.0, until=1.5)
+        net.run(until=8.0)
+        stats = net.metrics.user("alice")
+        assert stats.chunks_requested <= net.config.window_size + 1
+
+
+class TestPitCapacity:
+    def record(self, nonce=0):
+        return PitRecord(tag=None, flag_f=0.0, in_face="f", arrived_at=0.0, nonce=nonce)
+
+    def test_unlimited_by_default(self):
+        pit = Pit()
+        for i in range(1000):
+            pit.insert(f"/n/{i}", self.record(), now=0.0)
+        assert len(pit) == 1000
+        assert pit.rejections == 0
+
+    def test_capacity_sheds_new_entries(self):
+        pit = Pit(capacity=3)
+        for i in range(3):
+            assert pit.insert(f"/n/{i}", self.record(), now=0.0) is True
+        assert pit.insert("/n/overflow", self.record(), now=0.0) is False
+        assert pit.rejections == 1
+        assert "/n/overflow" not in pit
+
+    def test_aggregation_still_works_at_capacity(self):
+        pit = Pit(capacity=2)
+        pit.insert("/n/0", self.record(1), now=0.0)
+        pit.insert("/n/1", self.record(2), now=0.0)
+        # Existing names aggregate fine even when full.
+        assert pit.insert("/n/0", self.record(3), now=0.0) is False
+        assert len(pit.find("/n/0").records) == 2
+        assert pit.rejections == 0
+
+    def test_expired_entries_purged_before_shedding(self):
+        pit = Pit(entry_lifetime=1.0, capacity=2)
+        pit.insert("/n/0", self.record(), now=0.0)
+        pit.insert("/n/1", self.record(), now=0.0)
+        # At t=5 both are expired: the new entry takes a purged slot.
+        assert pit.insert("/n/2", self.record(), now=5.0) is True
+        assert pit.rejections == 0
+
+    def test_flooding_defence_end_to_end(self):
+        from repro.core.config import TacticConfig
+        from repro.crypto.cost_model import ZERO_COST_MODEL
+
+        net = build_mini_net(
+            TacticConfig(cost_model=ZERO_COST_MODEL, pit_capacity=4)
+        )
+        # Blast 50 distinct no-tag interests through core1 toward a
+        # blackholed upstream: the PIT must shed, not grow.
+        net.core2.on_interest = lambda i, f: None
+        for i in range(50):
+            net.sim.schedule(
+                0.0,
+                net.core1.receive,
+                Interest(name=Name(f"/prov-0/obj-{i}/chunk-0")),
+                net.core1.faces[0],
+            )
+        net.run(until=1.0)
+        assert len(net.core1.pit) <= 4
+        assert net.core1.pit.rejections >= 46

@@ -1,0 +1,83 @@
+"""End-to-end security invariants, fuzzed across seeds and attacker mixes.
+
+The one property every TACTIC configuration must uphold: **no
+unauthorized consumption** — an attacker never *uses* content,
+regardless of seed, attacker mix, filter sizing, or expiry settings.
+(Delivery to attackers is possible only via Bloom false positives, and
+even then the payload is ciphertext they cannot decrypt.)
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attacker import AttackerMode
+from repro.experiments import Scenario, run_scenario
+
+mode_strategy = st.lists(
+    st.sampled_from(list(AttackerMode)), min_size=1, max_size=3, unique=True
+)
+
+
+class TestNoUnauthorizedConsumption:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(
+        seed=st.integers(min_value=1, max_value=50),
+        modes=mode_strategy,
+        tag_expiry=st.sampled_from([3.0, 10.0]),
+        bf_capacity=st.sampled_from([20, 200]),
+    )
+    def test_attackers_never_consume(self, seed, modes, tag_expiry, bf_capacity):
+        scenario = Scenario.paper_topology(
+            1,
+            duration=4.0,
+            seed=seed,
+            scale=0.15,
+            attacker_modes=tuple(modes),
+        ).with_config(tag_expiry=tag_expiry, bf_capacity=bf_capacity)
+        result = run_scenario(scenario)
+        # The invariant: zero usable chunks for the attacker population.
+        assert result.metrics.total_usable(attackers=True) == 0
+        # And the system still works for clients under every mix.
+        assert result.client_delivery_ratio() > 0.9
+
+    def test_invariant_holds_across_all_schemes_with_enforcement(self):
+        # Schemes with any enforcement (network or crypto) share the
+        # usable==0 invariant; only delivery differs.
+        for scheme in ("tactic", "no_bloom", "provider_auth", "accconf", "client_side"):
+            result = run_scenario(
+                Scenario.paper_topology(1, duration=4.0, seed=9, scale=0.15, scheme=scheme)
+            )
+            assert result.metrics.total_usable(attackers=True) == 0, scheme
+
+
+class TestConservation:
+    def test_chunk_accounting_balances(self):
+        # received + timeouts + nacks + still-outstanding == requested,
+        # for every user — no chunk is double-counted or lost.
+        result = run_scenario(
+            Scenario.paper_topology(1, duration=5.0, seed=3, scale=0.2)
+        )
+        for user in result.metrics.users.values():
+            outstanding = 0
+            for client in result.clients + result.attackers:
+                if client.node_id == user.user_id:
+                    outstanding = len(client._outstanding)
+            accounted = (
+                user.chunks_received
+                + user.timeouts
+                + user.nacks_received
+                + outstanding
+            )
+            assert accounted == user.chunks_requested, user.user_id
+
+    def test_usable_never_exceeds_received(self):
+        result = run_scenario(
+            Scenario.paper_topology(1, duration=4.0, seed=4, scale=0.15)
+        )
+        for user in result.metrics.users.values():
+            assert user.chunks_usable <= user.chunks_received

@@ -1,0 +1,186 @@
+"""Tests for Shamir secret sharing and the AccConF-style baseline."""
+
+import random
+
+import pytest
+
+from repro.crypto.shamir import (
+    PRIME_256,
+    BroadcastEnclosure,
+    Share,
+    recover_secret,
+    split_secret,
+)
+from repro.experiments import Scenario, run_scenario
+
+
+class TestShamir:
+    def test_threshold_reconstruction(self):
+        rng = random.Random(1)
+        secret = rng.randrange(PRIME_256)
+        shares = split_secret(secret, threshold=3, num_shares=6, rng=rng)
+        assert recover_secret(shares[:3]) == secret
+        assert recover_secret(shares[3:]) == secret
+        assert recover_secret([shares[0], shares[2], shares[5]]) == secret
+
+    def test_below_threshold_reveals_nothing(self):
+        rng = random.Random(2)
+        secret = 424242
+        shares = split_secret(secret, threshold=3, num_shares=5, rng=rng)
+        # Interpolating two shares of a degree-2 polynomial is just wrong.
+        assert recover_secret(shares[:2]) != secret
+
+    def test_more_than_threshold_still_exact(self):
+        rng = random.Random(3)
+        secret = 99
+        shares = split_secret(secret, threshold=2, num_shares=5, rng=rng)
+        assert recover_secret(shares) == secret
+
+    def test_threshold_one_is_plain_replication(self):
+        shares = split_secret(7, threshold=1, num_shares=3, rng=random.Random(0))
+        assert all(s.y == 7 for s in shares)
+
+    def test_duplicate_shares_rejected(self):
+        share = Share(x=1, y=10)
+        with pytest.raises(ValueError):
+            recover_secret([share, share])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            recover_secret([])
+
+    def test_parameter_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            split_secret(PRIME_256, 2, 3, rng)  # out of field
+        with pytest.raises(ValueError):
+            split_secret(1, 0, 3, rng)
+        with pytest.raises(ValueError):
+            split_secret(1, 4, 3, rng)  # fewer shares than threshold
+
+
+class TestBroadcastEnclosure:
+    def test_enrolled_client_recovers_secret(self):
+        enclosure = BroadcastEnclosure(secret=12345, threshold=3, rng=random.Random(5))
+        share = enclosure.enroll("alice")
+        assert BroadcastEnclosure.combine(share, enclosure.enclosure) == 12345
+
+    def test_outsider_with_only_enclosure_fails(self):
+        enclosure = BroadcastEnclosure(secret=12345, threshold=3, rng=random.Random(5))
+        # The public enclosure alone is t-1 shares: interpolating them
+        # (with any fabricated extra point) misses the secret.
+        fabricated = Share(x=77, y=123456789)
+        assert (
+            BroadcastEnclosure.combine(fabricated, enclosure.enclosure) != 12345
+        )
+
+    def test_enroll_is_idempotent(self):
+        enclosure = BroadcastEnclosure(secret=1, threshold=2, rng=random.Random(0))
+        assert enclosure.enroll("a") == enclosure.enroll("a")
+
+    def test_revocation_invalidates_old_share(self):
+        enclosure = BroadcastEnclosure(secret=999, threshold=3, rng=random.Random(9))
+        bob_old = enclosure.enroll("bob")
+        enclosure.enroll("carol")
+        fresh = enclosure.revoke("bob")
+        # Bob is gone from the rekey set; Carol got a new share.
+        assert "bob" not in fresh
+        assert "carol" in fresh
+        # Bob's stale share no longer combines with the new enclosure.
+        assert BroadcastEnclosure.combine(bob_old, enclosure.enclosure) != 999
+        # Carol's fresh one does.
+        assert BroadcastEnclosure.combine(fresh["carol"], enclosure.enclosure) == 999
+
+    def test_rekey_cost_scales_with_survivors(self):
+        enclosure = BroadcastEnclosure(secret=5, threshold=3, rng=random.Random(4))
+        for i in range(10):
+            enclosure.enroll(f"user-{i}")
+        fresh = enclosure.revoke("user-0")
+        assert len(fresh) == 9  # every survivor must be re-provisioned
+
+    def test_generation_increments(self):
+        enclosure = BroadcastEnclosure(secret=5, threshold=2, rng=random.Random(4))
+        g0 = enclosure.generation
+        enclosure.enroll("a")
+        enclosure.revoke("a")
+        assert enclosure.generation == g0 + 1
+
+    def test_trivial_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            BroadcastEnclosure(secret=5, threshold=1)
+
+
+class TestAccConfScheme:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(
+            Scenario.paper_topology(1, duration=6.0, seed=2, scale=0.2, scheme="accconf")
+        )
+
+    def test_everyone_receives(self, result):
+        # Client-side enforcement: the network delivers to all comers.
+        assert result.client_delivery_ratio() > 0.95
+        assert result.attacker_delivery_ratio() > 0.9
+
+    def test_only_clients_can_decrypt(self, result):
+        assert result.metrics.usable_ratio(attackers=False) > 0.95
+        assert result.metrics.usable_ratio(attackers=True) == 0.0
+
+    def test_clients_performed_real_combines(self, result):
+        combines = sum(c.lagrange_combines for c in result.clients)
+        assert combines > 100
+
+    def test_enclosure_inflates_every_data_packet(self, result):
+        provider = result.providers[0]
+        assert provider.enclosure_bytes() > 0
+        # Compare wire bytes against a TACTIC run on the same workload.
+        tactic = run_scenario(
+            Scenario.paper_topology(1, duration=6.0, seed=2, scale=0.2)
+        )
+        delivered = result.metrics.total_received(False) or 1
+        delivered_tactic = tactic.metrics.total_received(False) or 1
+        per_chunk = result.network_bytes() / delivered
+        per_chunk_tactic = tactic.network_bytes() / delivered_tactic
+        assert per_chunk > per_chunk_tactic  # the "Moderate" comm overhead
+
+    def test_rekey_storm_on_revocation(self, result):
+        provider = result.providers[0]
+        enrolled = len(provider.enclosure._client_shares)
+        if enrolled < 2:
+            pytest.skip("not enough enrolled clients in this tiny run")
+        victim = next(iter(provider.enclosure._client_shares))
+        cost = provider.revoke_and_rekey(victim)
+        assert cost == enrolled - 1  # vs. TACTIC's zero
+
+    def test_stale_generation_forces_refresh(self):
+        # Revoke mid-run: surviving clients hit generation mismatches,
+        # re-register, and resume decrypting.
+        scenario = Scenario.paper_topology(
+            1, duration=10.0, seed=3, scale=0.2, scheme="accconf"
+        )
+        from repro.experiments.runner import build_assembly
+
+        assembly = build_assembly(scenario)
+        start_rng = assembly.sim.rng.stream("start-offsets")
+        for client in assembly.clients:
+            client.start(at=start_rng.uniform(0.0, 0.5), until=10.0)
+        provider = assembly.providers[0]
+
+        def revoke_first_enrolled():
+            enrolled = list(provider.enclosure._client_shares)
+            if enrolled:
+                provider.revoke_and_rekey(enrolled[0])
+
+        assembly.sim.schedule(4.0, revoke_first_enrolled)
+        assembly.sim.run(until=12.0)
+        stale = sum(c.stale_generation_misses for c in assembly.clients)
+        assert stale > 0
+        # Survivors recover: usable chunks exist after the rekey point.
+        late_usable = [
+            t
+            for user in assembly.metrics.users.values()
+            if not user.is_attacker
+            for t, _ in user.latency_samples
+            if t > 6.0
+        ]
+        assert late_usable

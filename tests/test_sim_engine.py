@@ -1,0 +1,160 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_sequence():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "low", priority=1)
+    sim.schedule(1.0, fired.append, "high", priority=0)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 5.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    sim.cancel(event)
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, fired.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "nested"]
+    assert sim.now == 2.0
+
+
+def test_stop_halts_run_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.pending() == 1
+
+
+def test_step_executes_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert fired == ["a", "b"]
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_run_reentry_rejected():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_determinism_across_instances():
+    def run_once():
+        sim = Simulator(seed=42)
+        values = []
+        rng = sim.rng.stream("test")
+        for i in range(10):
+            sim.schedule(rng.random(), values.append, i)
+        sim.run()
+        return values
+
+    assert run_once() == run_once()

@@ -1,0 +1,83 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Process, Simulator, Timeout
+
+
+def test_process_runs_and_sleeps():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield Timeout(1.5)
+        log.append(("mid", sim.now))
+        yield Timeout(0.5)
+        log.append(("end", sim.now))
+
+    process = Process(sim, worker())
+    sim.run()
+    assert log == [("start", 0.0), ("mid", 1.5), ("end", 2.0)]
+    assert not process.alive
+
+
+def test_process_start_delay():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(sim.now)
+        yield Timeout(1.0)
+        log.append(sim.now)
+
+    Process(sim, worker(), start_delay=3.0)
+    sim.run()
+    assert log == [3.0, 4.0]
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        while True:
+            log.append(sim.now)
+            yield Timeout(1.0)
+
+    process = Process(sim, worker())
+    sim.schedule(2.5, process.interrupt)
+    sim.run(until=10.0)
+    assert log == [0.0, 1.0, 2.0]
+    assert not process.alive
+
+
+def test_invalid_yield_type_raises():
+    sim = Simulator()
+
+    def worker():
+        yield "not a timeout"
+
+    Process(sim, worker())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def worker(name, period):
+        for _ in range(3):
+            log.append((name, sim.now))
+            yield Timeout(period)
+
+    Process(sim, worker("fast", 1.0))
+    Process(sim, worker("slow", 2.0))
+    sim.run()
+    assert ("fast", 2.0) in log and ("slow", 4.0) in log

@@ -1,0 +1,79 @@
+"""Unit tests for RNG streams and the trace hub."""
+
+from repro.sim import RngRegistry, Simulator, TraceHub
+from repro.sim.rng import derive_seed
+
+
+class TestRngRegistry:
+    def test_same_master_seed_reproduces_streams(self):
+        a = RngRegistry(99).stream("x")
+        b = RngRegistry(99).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams_are_independent(self):
+        reg = RngRegistry(1)
+        xs = [reg.stream("x").random() for _ in range(5)]
+        reg2 = RngRegistry(1)
+        # Drawing from "y" first must not perturb "x".
+        reg2.stream("y").random()
+        ys = [reg2.stream("x").random() for _ in range(5)]
+        assert xs == ys
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(0)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_reseed_clears_streams(self):
+        reg = RngRegistry(0)
+        first = reg.stream("a").random()
+        reg.reseed(0)
+        assert reg.stream("a").random() == first
+
+    def test_derive_seed_is_stable_and_distinct(self):
+        assert derive_seed(5, "x") == derive_seed(5, "x")
+        assert derive_seed(5, "x") != derive_seed(5, "y")
+        assert derive_seed(5, "x") != derive_seed(6, "x")
+
+
+class TestTraceHub:
+    def test_exact_subscription(self):
+        hub = TraceHub()
+        seen = []
+        hub.subscribe("evt", seen.append)
+        hub.emit("evt", 1.0, value=42)
+        hub.emit("other", 2.0)
+        assert len(seen) == 1
+        assert seen[0].payload == {"value": 42}
+        assert seen[0].time == 1.0
+
+    def test_wildcard_subscription(self):
+        hub = TraceHub()
+        seen = []
+        hub.subscribe("*", seen.append)
+        hub.emit("a", 1.0)
+        hub.emit("b", 2.0)
+        assert [r.name for r in seen] == ["a", "b"]
+
+    def test_unsubscribe(self):
+        hub = TraceHub()
+        seen = []
+        hub.subscribe("evt", seen.append)
+        hub.unsubscribe("evt", seen.append)
+        hub.emit("evt", 1.0)
+        assert seen == []
+
+    def test_disabled_hub_drops_records(self):
+        hub = TraceHub()
+        seen = []
+        hub.subscribe("evt", seen.append)
+        hub.enabled = False
+        hub.emit("evt", 1.0)
+        assert seen == []
+
+    def test_simulator_owns_a_hub(self):
+        sim = Simulator()
+        seen = []
+        sim.trace.subscribe("tick", seen.append)
+        sim.schedule(1.0, lambda: sim.trace.emit("tick", sim.now))
+        sim.run()
+        assert seen[0].time == 1.0

@@ -1,0 +1,214 @@
+"""Tests for forwarding strategies, multipath FIBs, and link failover."""
+
+import pytest
+
+from repro.ndn import Data, Interest, Name, Network, Node
+from repro.ndn.fib import Fib, NextHop
+from repro.ndn.strategy import (
+    BestRouteStrategy,
+    LoadBalanceStrategy,
+    MulticastStrategy,
+    make_strategy,
+)
+from repro.sim import Simulator
+
+from tests.conftest import attach_client, build_mini_net
+
+
+class TestMultipathFib:
+    def test_hops_ranked_by_cost(self):
+        fib = Fib()
+        fib.add("/p", face="slow", cost=5.0)
+        fib.add("/p", face="fast", cost=1.0)
+        hops = fib.lookup_nexthops("/p/x")
+        assert [h.face for h in hops] == ["fast", "slow"]
+        assert fib.lookup("/p/x") == "fast"
+
+    def test_duplicate_face_updates_cost(self):
+        fib = Fib()
+        fib.add("/p", face="f", cost=5.0)
+        fib.add("/p", face="f", cost=1.0)
+        hops = fib.lookup_nexthops("/p")
+        assert len(hops) == 1 and hops[0].cost == 1.0
+
+    def test_remove_nexthop(self):
+        fib = Fib()
+        fib.add("/p", face="a", cost=1.0)
+        fib.add("/p", face="b", cost=2.0)
+        assert fib.remove_nexthop("/p", "a")
+        assert fib.lookup("/p") == "b"
+        assert fib.remove_nexthop("/p", "b")
+        assert fib.lookup("/p") is None
+        assert not fib.remove_nexthop("/p", "ghost")
+
+    def test_purge_face_everywhere(self):
+        fib = Fib()
+        fib.add("/p", face="dead", cost=1.0)
+        fib.add("/q", face="dead", cost=1.0)
+        fib.add("/q", face="alive", cost=2.0)
+        assert fib.purge_face("dead") == 2
+        assert fib.lookup("/p") is None
+        assert fib.lookup("/q") == "alive"
+
+    def test_lookup_entry_backcompat(self):
+        fib = Fib()
+        fib.add("/p", face="f", cost=3.0)
+        assert fib.lookup_entry("/p/x") == ("f", 3.0)
+        assert fib.lookup_entry("/none") is None
+
+
+class _FakeFace:
+    def __init__(self, up=True):
+        class _Link:
+            pass
+
+        self.link = _Link()
+        self.link.up = up
+
+
+class TestStrategies:
+    def hops(self, *costs, up=None):
+        up = up or [True] * len(costs)
+        return [
+            NextHop(face=_FakeFace(up=u), cost=c) for c, u in zip(costs, up)
+        ]
+
+    def test_best_route_picks_cheapest(self):
+        import random
+
+        hops = self.hops(3.0, 1.0, 2.0)
+        picked = BestRouteStrategy().select(sorted(hops, key=lambda h: h.cost),
+                                            None, random.Random(0))
+        assert picked == [min(hops, key=lambda h: h.cost).face]
+
+    def test_best_route_skips_in_face(self):
+        import random
+
+        hops = self.hops(1.0, 2.0)
+        picked = BestRouteStrategy().select(hops, hops[0].face, random.Random(0))
+        assert picked == [hops[1].face]
+
+    def test_best_route_skips_down_links(self):
+        import random
+
+        hops = self.hops(1.0, 2.0, up=[False, True])
+        picked = BestRouteStrategy().select(hops, None, random.Random(0))
+        assert picked == [hops[1].face]
+
+    def test_multicast_selects_all_usable(self):
+        import random
+
+        hops = self.hops(1.0, 2.0, 3.0, up=[True, False, True])
+        picked = MulticastStrategy().select(hops, None, random.Random(0))
+        assert picked == [hops[0].face, hops[2].face]
+
+    def test_load_balance_spreads_by_inverse_cost(self):
+        import random
+
+        hops = self.hops(1.0, 10.0)
+        rng = random.Random(7)
+        strategy = LoadBalanceStrategy()
+        counts = {0: 0, 1: 0}
+        for _ in range(2000):
+            face = strategy.select(hops, None, rng)[0]
+            counts[0 if face is hops[0].face else 1] += 1
+        assert counts[0] > 5 * counts[1]  # 10:1 weighting, roughly
+
+    def test_no_usable_hops_empty(self):
+        import random
+
+        hops = self.hops(1.0, up=[False])
+        for strategy in (BestRouteStrategy(), MulticastStrategy(), LoadBalanceStrategy()):
+            assert strategy.select(hops, None, random.Random(0)) == []
+
+    def test_factory(self):
+        assert make_strategy("multicast").name == "multicast"
+        with pytest.raises(ValueError):
+            make_strategy("teleport")
+
+
+def diamond_net():
+    """a - {b, c} - d: two disjoint paths for failover tests."""
+    sim = Simulator(seed=4)
+    net = Network(sim)
+    a, b, c, d = (net.add_node(Node(sim, x)) for x in "abcd")
+    net.connect(a, b, latency=0.001)
+    net.connect(a, c, latency=0.002)  # backup: slightly worse
+    net.connect(b, d, latency=0.001)
+    net.connect(c, d, latency=0.002)
+    net.announce_prefix("/prov", d)
+    d.cs.insert(Data(name=Name("/prov/1"), payload=b"x"))
+    d.cs.capacity = 10**6
+    for i in range(50):
+        d.cs.insert(Data(name=Name(f"/prov/obj/{i}"), payload=b"x"))
+    return sim, net, a, b, c, d
+
+
+class TestLinkFailover:
+    def fetch(self, sim, net, a, name):
+        got = []
+        a.on_data = lambda data, f: got.append(data)
+        sim.schedule(0.0, a.faces[0].send, Interest(name=Name(name)))
+        # faces[0] is a's face toward b... fetch must be driven from a
+        # itself: inject directly instead.
+        return got
+
+    def test_primary_path_used_initially(self, ):
+        sim, net, a, b, c, d = diamond_net()
+        assert a.fib.lookup("/prov/1").peer is b
+
+    def test_failover_reroutes_through_backup(self):
+        sim, net, a, b, c, d = diamond_net()
+        net.fail_link(a, b)
+        assert a.fib.lookup("/prov/1").peer is c
+        # And traffic actually flows end to end on the backup: inject as
+        # if it arrived on the (dead) b-side face so the strategy picks c.
+        got = []
+        a.on_data = lambda data, f: got.append(data)
+        sim.schedule(0.0, a.on_interest, Interest(name=Name("/prov/obj/3")),
+                     a.face_toward(b))
+        sim.run(until=1.0)
+        assert got
+
+    def test_down_link_drops_traffic(self):
+        sim, net, a, b, c, d = diamond_net()
+        link = net.fail_link(a, b, reroute=False)
+        before = link.packets_dropped
+        a.face_toward(b).send(Interest(name=Name("/prov/1")))
+        assert link.packets_dropped == before + 1
+
+    def test_restore_returns_to_primary(self):
+        sim, net, a, b, c, d = diamond_net()
+        net.fail_link(a, b)
+        net.restore_link(a, b)
+        assert a.fib.lookup("/prov/1").peer is b
+
+    def test_unknown_link_raises(self):
+        sim, net, a, b, c, d = diamond_net()
+        with pytest.raises(LookupError):
+            net.fail_link(a, d)
+
+    def test_partitioned_origin_tolerated(self):
+        sim, net, a, b, c, d = diamond_net()
+        net.fail_link(b, d, reroute=False)
+        net.fail_link(c, d, reroute=False)
+        net.reannounce()  # d unreachable: old routes purged, no crash
+        assert a.fib.lookup("/prov/1") is None or True
+
+
+class TestEndToEndFailover:
+    def test_client_survives_midrun_link_failure(self):
+        # mini-net is a chain, so give it a bypass: edge -- core2.
+        net = build_mini_net()
+        bypass = net.network.connect(
+            net.edge, net.core2, bandwidth_bps=500e6, latency=0.005
+        )
+        net.network.reannounce()
+        client = attach_client(net, "alice")
+        client.start(at=0.0, until=10.0)
+        net.sim.schedule(4.0, net.network.fail_link, net.edge, net.core1)
+        net.run(until=12.0)
+        stats = net.metrics.user("alice")
+        late = [t for t, _ in stats.latency_samples if t > 5.0]
+        assert late, "client should keep retrieving over the bypass"
+        assert stats.delivery_ratio() > 0.9

@@ -1,0 +1,104 @@
+"""Tests for the multi-seed sweep engine."""
+
+import math
+
+import pytest
+
+from repro.experiments.sweeps import (
+    Aggregate,
+    SweepSpec,
+    aggregate,
+    render_sweep,
+    run_sweep,
+    t_critical,
+)
+
+
+class TestAggregate:
+    def test_single_sample(self):
+        agg = aggregate([5.0])
+        assert agg.mean == 5.0 and agg.std == 0.0 and agg.ci_halfwidth == 0.0
+
+    def test_known_values(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.std == pytest.approx(1.0)
+        assert agg.count == 3
+        # t(0.975, dof=2) = 4.303 -> halfwidth = 4.303 / sqrt(3)
+        assert agg.ci_halfwidth == pytest.approx(4.303 / math.sqrt(3), rel=1e-3)
+
+    def test_ci_bounds(self):
+        agg = aggregate([10.0, 12.0, 14.0, 16.0])
+        assert agg.ci_low < agg.mean < agg.ci_high
+        assert agg.ci_high - agg.ci_low == pytest.approx(2 * agg.ci_halfwidth)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_identical_samples_zero_spread(self):
+        agg = aggregate([7.0] * 5)
+        assert agg.std == 0.0 and agg.ci_halfwidth == 0.0
+
+    def test_t_critical_monotone(self):
+        assert t_critical(1) > t_critical(2) > t_critical(10) > 1.9
+
+
+class TestSweepSpec:
+    def test_grid_cross_product(self):
+        spec = SweepSpec(
+            base={}, grid={"a": [1, 2], "b": [10, 20]}, seeds=[1], metrics={}
+        )
+        points = spec.points()
+        assert len(points) == 4
+        assert {"a": 1, "b": 20} in points
+
+    def test_empty_grid_single_point(self):
+        spec = SweepSpec(base={}, grid={}, seeds=[1], metrics={})
+        assert spec.points() == [{}]
+
+
+class TestRunSweep:
+    def test_end_to_end(self):
+        spec = SweepSpec(
+            base=dict(topology=1, duration=4.0, scale=0.15),
+            grid={"tag_expiry": [2.0, 50.0]},
+            seeds=[1, 2],
+            metrics={
+                "q_rate": lambda r: r.tag_rates()[0],
+                "delivery": lambda r: r.client_delivery_ratio(),
+            },
+        )
+        points = run_sweep(spec)
+        assert len(points) == 2
+        for point in points:
+            assert len(point.samples["q_rate"]) == 2
+            assert point.aggregate("delivery").mean > 0.95
+        short = next(p for p in points if p.overrides["tag_expiry"] == 2.0)
+        long = next(p for p in points if p.overrides["tag_expiry"] == 50.0)
+        # The paper trend holds in the mean across seeds.
+        assert short.aggregate("q_rate").mean > long.aggregate("q_rate").mean
+
+    def test_render(self):
+        spec = SweepSpec(
+            base=dict(topology=1, duration=3.0, scale=0.15),
+            grid={},
+            seeds=[1],
+            metrics={"delivery": lambda r: r.client_delivery_ratio()},
+        )
+        points = run_sweep(spec)
+        text = render_sweep(points, ["delivery"])
+        assert "Sweep results" in text and "(base)" in text
+
+    def test_label(self):
+        from repro.experiments.sweeps import SweepPoint
+
+        assert SweepPoint(overrides={}).label() == "(base)"
+        assert "a=1" in SweepPoint(overrides={"a": 1, "b": 2}).label()
+
+
+class TestAggregateDataclass:
+    def test_frozen(self):
+        agg = Aggregate(mean=1.0, std=0.0, count=1, ci_halfwidth=0.0)
+        with pytest.raises(Exception):
+            agg.mean = 2.0

@@ -1,0 +1,133 @@
+"""Unit tests for topology plans and Table III presets."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    PAPER_TOPOLOGIES,
+    generate_scale_free_plan,
+    paper_topology_plan,
+)
+from repro.topology.scale_free import (
+    CORE_BANDWIDTH_BPS,
+    CORE_LATENCY_S,
+    EDGE_BANDWIDTH_BPS,
+    EDGE_LATENCY_S,
+)
+
+
+class TestPresets:
+    def test_table3_counts(self):
+        expected = {
+            1: (80, 20, 10, 35, 15),
+            2: (180, 20, 10, 71, 29),
+            3: (370, 30, 10, 143, 57),
+            4: (560, 40, 10, 213, 87),
+        }
+        for index, (core, edge, prov, clients, attackers) in expected.items():
+            preset = PAPER_TOPOLOGIES[index]
+            assert preset.num_core == core
+            assert preset.num_edge == edge
+            assert preset.num_providers == prov
+            assert preset.num_clients == clients
+            assert preset.num_attackers == attackers
+
+    def test_attackers_are_roughly_one_third(self):
+        for preset in PAPER_TOPOLOGIES.values():
+            total = preset.num_clients + preset.num_attackers
+            assert 0.25 <= preset.num_attackers / total <= 0.40
+
+    def test_plan_generation_matches_preset(self):
+        plan = paper_topology_plan(1, seed=0)
+        preset = PAPER_TOPOLOGIES[1]
+        assert len(plan.core_ids) == preset.num_core
+        assert len(plan.edge_ids) == preset.num_edge
+        assert len(plan.provider_ids) == preset.num_providers
+        assert len(plan.client_ids) == preset.num_clients
+        assert len(plan.attacker_ids) == preset.num_attackers
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(KeyError):
+            paper_topology_plan(9)
+
+    def test_scaled_preset(self):
+        scaled = PAPER_TOPOLOGIES[1].scaled(0.5)
+        assert scaled.num_core == 40
+        assert scaled.num_clients == 18
+        tiny = PAPER_TOPOLOGIES[1].scaled(0.001)
+        assert tiny.num_core >= 3 and tiny.num_clients >= 1
+
+
+class TestPlanGeneration:
+    def test_deterministic(self):
+        a = generate_scale_free_plan(20, 4, 2, 8, 4, seed=7)
+        b = generate_scale_free_plan(20, 4, 2, 8, 4, seed=7)
+        assert a.links == b.links
+        assert a.user_ap == b.user_ap
+
+    def test_seed_changes_plan(self):
+        a = generate_scale_free_plan(20, 4, 2, 8, 4, seed=1)
+        b = generate_scale_free_plan(20, 4, 2, 8, 4, seed=2)
+        assert a.links != b.links
+
+    def test_connected(self):
+        plan = generate_scale_free_plan(30, 5, 3, 10, 5, seed=3)
+        graph = nx.Graph()
+        for link in plan.links:
+            graph.add_edge(link.a, link.b)
+        assert nx.is_connected(graph)
+
+    def test_link_parameters(self):
+        plan = generate_scale_free_plan(20, 4, 2, 8, 4, seed=0)
+        for link in plan.links:
+            if link.kind == "core":
+                assert link.bandwidth_bps == CORE_BANDWIDTH_BPS
+                assert link.latency == CORE_LATENCY_S
+            else:
+                assert link.bandwidth_bps == EDGE_BANDWIDTH_BPS
+                assert link.latency == EDGE_LATENCY_S
+
+    def test_every_user_attached(self):
+        plan = generate_scale_free_plan(20, 4, 2, 8, 4, seed=0)
+        for user in plan.user_ids:
+            ap = plan.user_ap[user]
+            assert ap in plan.ap_ids
+            assert plan.ap_edge[ap] in plan.edge_ids
+            assert plan.edge_of_user(user) in plan.edge_ids
+
+    def test_providers_anchor_at_core(self):
+        plan = generate_scale_free_plan(20, 4, 2, 8, 4, seed=0)
+        for provider, anchor in plan.provider_core.items():
+            assert anchor in plan.core_ids
+
+    def test_providers_prefer_hubs(self):
+        plan = generate_scale_free_plan(50, 4, 1, 8, 4, seed=5)
+        graph = nx.Graph()
+        for link in plan.links:
+            if link.a.startswith("core") and link.b.startswith("core"):
+                graph.add_edge(link.a, link.b)
+        anchor = plan.provider_core["prov-0"]
+        degrees = dict(graph.degree)
+        assert degrees[anchor] == max(degrees.values())
+
+    def test_scale_free_degree_distribution(self):
+        # A BA graph must have hubs: max degree well above the median.
+        plan = generate_scale_free_plan(200, 4, 2, 8, 4, seed=1)
+        graph = nx.Graph()
+        for link in plan.links:
+            if link.kind == "core" and link.a.startswith("core") and link.b.startswith("core"):
+                graph.add_edge(link.a, link.b)
+        degrees = sorted(d for _, d in graph.degree)
+        assert degrees[-1] >= 4 * degrees[len(degrees) // 2]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_scale_free_plan(2, 1, 1, 1, 1, seed=0)
+        with pytest.raises(ValueError):
+            generate_scale_free_plan(10, 0, 1, 1, 1, seed=0)
+
+    def test_validation_catches_orphan(self):
+        plan = generate_scale_free_plan(20, 4, 2, 8, 4, seed=0)
+        plan.client_ids.append("client-orphan")
+        with pytest.raises(ValueError):
+            plan.validate()

@@ -1,0 +1,138 @@
+"""Tests for packet-level trace capture and persistence."""
+
+import pytest
+
+from repro.experiments.tracelog import (
+    KNOWN_EVENTS,
+    TraceRecorder,
+    read_jsonl,
+    summarize,
+    write_jsonl,
+)
+from repro.ndn.name import Name
+from repro.ndn.packets import Interest
+
+from tests.conftest import attach_client, build_mini_net
+
+
+@pytest.fixture
+def captured_run():
+    net = build_mini_net()
+    recorder = TraceRecorder(net.sim)
+    client = attach_client(net, "alice")
+    client.start(at=0.0, until=2.0)
+    net.run(until=4.0)
+    recorder.stop()
+    return net, recorder
+
+
+class TestRecorder:
+    def test_captures_all_packet_kinds(self, captured_run):
+        net, recorder = captured_run
+        summary = summarize(recorder.records)
+        assert summary.by_event.get("node.rx.interest", 0) > 0
+        assert summary.by_event.get("node.rx.data", 0) > 0
+
+    def test_records_are_time_ordered(self, captured_run):
+        net, recorder = captured_run
+        times = [r.time for r in recorder.records]
+        assert times == sorted(times)
+
+    def test_filter_by_node(self, captured_run):
+        net, recorder = captured_run
+        edge_records = recorder.filter(node="edge-0")
+        assert edge_records
+        assert all(r.payload["node"] == "edge-0" for r in edge_records)
+
+    def test_filter_by_event(self, captured_run):
+        net, recorder = captured_run
+        data_records = recorder.filter(name="node.rx.data")
+        assert all(r.name == "node.rx.data" for r in data_records)
+
+    def test_stop_detaches(self):
+        net = build_mini_net()
+        recorder = TraceRecorder(net.sim)
+        recorder.stop()
+        net.sim.schedule(
+            0.0,
+            net.core1.receive,
+            Interest(name=Name("/prov-0/obj-0/chunk-0")),
+            net.core1.faces[0],
+        )
+        net.run(until=1.0)
+        assert len(recorder) == 0
+
+    def test_limit_counts_overflow(self):
+        net = build_mini_net()
+        recorder = TraceRecorder(net.sim, limit=5)
+        client = attach_client(net, "alice")
+        client.start(at=0.0, until=1.0)
+        net.run(until=2.0)
+        recorder.stop()
+        assert len(recorder) == 5
+        assert recorder.dropped > 0
+
+    def test_selective_events(self):
+        net = build_mini_net()
+        recorder = TraceRecorder(net.sim, events=("node.rx.nack",))
+        client = attach_client(net, "alice")
+        client.start(at=0.0, until=1.0)
+        net.run(until=2.0)
+        recorder.stop()
+        assert all(r.name == "node.rx.nack" for r in recorder.records)
+
+    def test_drop_events_emitted(self):
+        net = build_mini_net()
+        for link in net.network.links:
+            link.queue_bytes = 1500
+        recorder = TraceRecorder(net.sim, events=("link.drop",))
+        client = attach_client(net, "alice")
+        client.start(at=0.0, until=3.0)
+        net.run(until=4.0)
+        recorder.stop()
+        assert net.network.total_drops() == len(recorder)
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, captured_run, tmp_path):
+        net, recorder = captured_run
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(recorder.records, str(path))
+        loaded = read_jsonl(str(path))
+        assert written == len(loaded) == len(recorder)
+        assert loaded[0].name == recorder.records[0].name
+        assert loaded[0].time == recorder.records[0].time
+        assert loaded[0].payload == recorder.records[0].payload
+
+    def test_summary_fields(self, captured_run):
+        net, recorder = captured_run
+        summary = summarize(recorder.records)
+        assert summary.total == len(recorder)
+        assert summary.first_time <= summary.last_time
+        assert summary.rate() > 0
+        assert sum(summary.by_event.values()) == summary.total
+
+    def test_empty_summary(self):
+        summary = summarize([])
+        assert summary.total == 0
+        assert summary.rate() == 0.0
+
+
+class TestOverheadWhenDisabled:
+    def test_no_subscribers_means_no_records(self):
+        # TraceHub.emit early-outs when nothing listens; a run without a
+        # recorder behaves identically (checked via event counts).
+        net1 = build_mini_net()
+        client1 = attach_client(net1, "alice")
+        client1.start(at=0.0, until=1.0)
+        net1.run(until=2.0)
+
+        net2 = build_mini_net()
+        recorder = TraceRecorder(net2.sim)
+        client2 = attach_client(net2, "alice")
+        client2.start(at=0.0, until=1.0)
+        net2.run(until=2.0)
+        recorder.stop()
+
+        assert net1.sim.events_executed == net2.sim.events_executed
+        assert KNOWN_EVENTS  # sanity: the constant stays non-empty

@@ -1,0 +1,97 @@
+"""Unit tests for Zipf sampling and the content catalog."""
+
+import random
+
+import pytest
+
+from repro.ndn.name import Name
+from repro.workload.catalog import Catalog, CatalogEntry, build_catalog
+from repro.workload.zipf import ZipfSampler
+
+from tests.conftest import build_mini_net
+
+
+class TestZipf:
+    def test_popularity_ordering(self):
+        sampler = ZipfSampler(50, alpha=0.7, rng=random.Random(1))
+        counts = [0] * 50
+        for _ in range(20000):
+            counts[sampler.sample()] += 1
+        assert counts[0] > counts[10] > counts[49]
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, alpha=0.7, rng=random.Random(0))
+        assert sum(sampler.probability(i) for i in range(20)) == pytest.approx(1.0)
+
+    def test_probability_follows_power_law(self):
+        sampler = ZipfSampler(100, alpha=0.7, rng=random.Random(0))
+        # p(rank 1) / p(rank 2) == 2^alpha
+        ratio = sampler.probability(0) / sampler.probability(1)
+        assert ratio == pytest.approx(2 ** 0.7, rel=1e-6)
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(10, alpha=0.0, rng=random.Random(0))
+        for i in range(10):
+            assert sampler.probability(i) == pytest.approx(0.1)
+
+    def test_sample_in_range(self):
+        sampler = ZipfSampler(5, alpha=1.0, rng=random.Random(2))
+        assert all(0 <= sampler.sample() < 5 for _ in range(1000))
+
+    def test_deterministic_with_seed(self):
+        a = ZipfSampler(30, 0.7, random.Random(9))
+        b = ZipfSampler(30, 0.7, random.Random(9))
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.7, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, random.Random(0))
+        sampler = ZipfSampler(3, 0.7, random.Random(0))
+        with pytest.raises(IndexError):
+            sampler.probability(3)
+
+
+class TestCatalog:
+    def entries(self):
+        return [
+            CatalogEntry("prov-0", Name("/prov-0/obj-0"), 1, 50),
+            CatalogEntry("prov-0", Name("/prov-0/obj-1"), 3, 50),
+            CatalogEntry("prov-1", Name("/prov-1/obj-0"), None, 50),
+        ]
+
+    def test_accessible_to_filters_by_level(self):
+        catalog = Catalog(self.entries())
+        assert len(catalog.accessible_to(1)) == 2  # level-1 + public
+        assert len(catalog.accessible_to(3)) == 3
+        assert len(catalog.accessible_to(None)) == 1  # public only
+
+    def test_private_only(self):
+        catalog = Catalog(self.entries())
+        assert len(catalog.private_only()) == 2
+
+    def test_order_preserved_by_filters(self):
+        catalog = Catalog(self.entries())
+        filtered = catalog.accessible_to(3)
+        assert [e.prefix for e in filtered.entries] == [
+            e.prefix for e in self.entries()
+        ]
+
+    def test_chunk_name(self):
+        entry = self.entries()[0]
+        assert entry.chunk_name(7) == Name("/prov-0/obj-0/chunk-7")
+
+    def test_build_from_provider(self):
+        net = build_mini_net()
+        catalog = build_catalog([net.provider], shuffle_seed=None)
+        assert len(catalog) == net.config.objects_per_provider
+        assert catalog[0].provider_id == "prov-0"
+
+    def test_shuffle_seed_determinism(self):
+        net = build_mini_net()
+        a = build_catalog([net.provider], shuffle_seed=5)
+        b = build_catalog([net.provider], shuffle_seed=5)
+        c = build_catalog([net.provider], shuffle_seed=6)
+        assert [e.prefix for e in a.entries] == [e.prefix for e in b.entries]
+        assert [e.prefix for e in a.entries] != [e.prefix for e in c.entries]
