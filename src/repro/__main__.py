@@ -138,7 +138,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="entity-count scale factor (paper: 1.0)",
     )
     parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    telemetry = parser.add_argument_group(
+        "telemetry", "observability outputs (all off by default; see "
+        "docs/OBSERVABILITY.md)"
+    )
+    telemetry.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write per-run labeled metrics as one JSON document",
+    )
+    telemetry.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the packet/span event trace as JSON lines",
+    )
+    telemetry.add_argument(
+        "--sample-interval", type=float, default=None, metavar="SECONDS",
+        help="sample PIT/CS/BF/link/scheduler state every N virtual seconds",
+    )
+    telemetry.add_argument(
+        "--profile", action="store_true",
+        help="wall-clock the event loop and print a per-category report",
+    )
+    telemetry.add_argument(
+        "--heartbeat", type=float, default=0.0, metavar="SECONDS",
+        help="with --profile: print a liveness pulse every N wall seconds",
+    )
     return parser
+
+
+def _telemetry_config(args) -> "TelemetryConfig | None":
+    if not (args.metrics_out or args.trace_out or args.sample_interval
+            or args.profile):
+        return None
+    from repro.obs.session import TelemetryConfig
+
+    return TelemetryConfig(
+        metrics_path=args.metrics_out,
+        trace_path=args.trace_out,
+        sample_interval=args.sample_interval,
+        profile=args.profile,
+        heartbeat=args.heartbeat,
+    )
 
 
 def main(argv: List[str] = None) -> int:
@@ -148,9 +187,21 @@ def main(argv: List[str] = None) -> int:
             print(f"{name:8s} -> repro.experiments.{name}_*")
         return 0
     targets = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    for name in targets:
-        print(ARTIFACTS[name](args))
-        print()
+    config = _telemetry_config(args)
+    if config is None:
+        for name in targets:
+            print(ARTIFACTS[name](args))
+            print()
+        return 0
+    from repro.obs.session import set_default_telemetry
+
+    set_default_telemetry(config)
+    try:
+        for name in targets:
+            print(ARTIFACTS[name](args))
+            print()
+    finally:
+        set_default_telemetry(None)
     return 0
 
 

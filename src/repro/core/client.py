@@ -44,6 +44,8 @@ class _Outstanding:
 class _PendingRegistration:
     name: Name
     timeout_event: Event
+    nonce: int = 0
+    issued_at: float = 0.0
 
 
 class Client(Node):
@@ -137,16 +139,39 @@ class Client(Node):
             self.config.request_lifetime, self._on_registration_timeout, provider_id
         )
         self._registration_pending[provider_id] = _PendingRegistration(
-            name=name, timeout_event=timeout
+            name=name, timeout_event=timeout, nonce=interest.nonce,
+            issued_at=self.sim.now,
         )
         self.stats.tags_requested += 1
         self.stats.tag_request_times.append(self.sim.now)
+        self._trace_span_start(interest, kind="registration")
         self.send(self.uplink, interest)
 
     def _on_registration_timeout(self, provider_id: str) -> None:
-        if provider_id in self._registration_pending:
-            del self._registration_pending[provider_id]
+        pending = self._registration_pending.pop(provider_id, None)
+        if pending is not None:
+            self._trace_span_end(pending.nonce, "timeout", self.config.request_lifetime)
             self._pump()
+
+    # ------------------------------------------------------------------
+    # Interest-lifecycle span emission (no-ops unless subscribed)
+    # ------------------------------------------------------------------
+    def _trace_span_start(self, interest: Interest, kind: str) -> None:
+        trace = self.sim.trace
+        if trace.active and trace.wants("span.start"):
+            trace.emit(
+                "span.start", self.sim.now,
+                span=interest.nonce, node=self.node_id,
+                content=str(interest.name), kind=kind,
+            )
+
+    def _trace_span_end(self, span: int, outcome: str, latency: float) -> None:
+        trace = self.sim.trace
+        if span and trace.active and trace.wants("span.end"):
+            trace.emit(
+                "span.end", self.sim.now,
+                span=span, node=self.node_id, outcome=outcome, latency=latency,
+            )
 
     # ------------------------------------------------------------------
     # The window pump
@@ -193,6 +218,7 @@ class Client(Node):
             issued_at=self.sim.now, nonce=interest.nonce, timeout_event=timeout
         )
         self.stats.chunks_requested += 1
+        self._trace_span_start(interest, kind="content")
         self.send(self.uplink, interest)
 
     def _on_timeout(self, name: Name, nonce: int) -> None:
@@ -207,6 +233,7 @@ class Client(Node):
             return
         del self._outstanding[name]
         self.stats.timeouts += 1
+        self._trace_span_end(pending.nonce, "timeout", self.sim.now - pending.issued_at)
         self._pump()
 
     def _retransmit(self, name: Name, pending: _Outstanding) -> None:
@@ -222,6 +249,9 @@ class Client(Node):
             lifetime=self.config.request_lifetime,
             requester_id=self.node_id,
         )
+        self._trace_span_end(
+            pending.nonce, "retransmit", self.sim.now - pending.issued_at
+        )
         pending.retries += 1
         pending.nonce = interest.nonce
         pending.issued_at = self.sim.now
@@ -229,6 +259,7 @@ class Client(Node):
             self.config.request_lifetime, self._on_timeout, name, interest.nonce
         )
         self.stats.retransmissions += 1
+        self._trace_span_start(interest, kind="content")
         self.send(self.uplink, interest)
 
     # ------------------------------------------------------------------
@@ -244,12 +275,18 @@ class Client(Node):
         pending.timeout_event.cancel()
         if data.nack is not None:
             self.stats.nacks_received += 1
+            self._trace_span_end(
+                pending.nonce, "nack", self.sim.now - pending.issued_at
+            )
         else:
             self.stats.chunks_received += 1
             if self.can_consume(data):
                 self.stats.chunks_usable += 1
             self.stats.latency_samples.append(
                 (self.sim.now, self.sim.now - pending.issued_at)
+            )
+            self._trace_span_end(
+                pending.nonce, "data", self.sim.now - pending.issued_at
             )
         self._pump()
 
@@ -267,6 +304,9 @@ class Client(Node):
         pending = self._registration_pending.pop(provider_id, None)
         if pending is not None:
             pending.timeout_event.cancel()
+            self._trace_span_end(
+                pending.nonce, "tag", self.sim.now - pending.issued_at
+            )
         self.tags[provider_id] = data.tag_response
         self.stats.tags_received += 1
         self.stats.tag_receive_times.append(self.sim.now)
@@ -285,4 +325,5 @@ class Client(Node):
             return
         pending.timeout_event.cancel()
         self.stats.nacks_received += 1
+        self._trace_span_end(pending.nonce, "nack", self.sim.now - pending.issued_at)
         self._pump()

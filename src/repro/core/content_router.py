@@ -44,6 +44,8 @@ class ContentRouterMixin:
         tag = interest.tag
         data = data.copy()
         data.tag = tag
+        data.span_id = interest.nonce
+        self.trace_span_serve(interest)
         delay = self.compute_delay("precheck")
 
         # Public content: "return the requested content without tag

@@ -137,7 +137,9 @@ class EdgeRouter(TacticRouterBase):
         if data.is_tag_response():
             delay = self.bf_insert(data.tag_response)
             for record in entry.records:
-                self.send(record.in_face, data.copy(), delay)
+                out = data.copy()
+                out.span_id = record.nonce
+                self.send(record.in_face, out, delay)
             return
 
         primary_key = data.tag.cache_key() if data.tag is not None else None
@@ -182,4 +184,5 @@ class EdgeRouter(TacticRouterBase):
         out.tag = record.tag
         out.nack = None  # NACKs never propagate past the edge decision
         out.flag_f = flag
+        out.span_id = record.nonce
         self.send(record.in_face, out, delay)

@@ -70,6 +70,7 @@ class IntermediateRouterMixin:
             if not primary_served and record_key == (primary_key or b""):
                 out = data.copy()
                 out.tag = record.tag
+                out.span_id = record.nonce
                 self.send(record.in_face, out)
                 primary_served = True
                 continue
@@ -81,6 +82,7 @@ class IntermediateRouterMixin:
         out = data.copy()
         out.tag = record.tag
         out.nack = None  # the received NACK named Tu, not Tw
+        out.span_id = record.nonce
         delay = 0.0
 
         if record.tag is None:

@@ -289,6 +289,8 @@ class Provider(ContentRouterMixin, TacticRouterBase):
             provider_key_locator=self.key_locator,
             created_at=self.sim.now,
         )
+        response.span_id = interest.nonce
+        self.trace_span_serve(interest)
         delay = self.compute_delay("tag_sign")
         self.send(in_face, response, delay)
 

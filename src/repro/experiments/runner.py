@@ -69,6 +69,9 @@ class RunResult:
     clients: List[Client]
     attackers: List[Attacker]
     wall_seconds: float = 0.0
+    #: The run's :class:`~repro.obs.session.TelemetrySession`, when one
+    #: was attached (None for untelemetered runs).
+    telemetry: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Table IV quantities
@@ -314,13 +317,36 @@ def _seed_stale_tags(assembly: _Assembly) -> None:
                 attacker.stale_tags[provider.node_id] = tag
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
-    """Assemble and execute one scenario end to end."""
+def run_scenario(
+    scenario: Scenario, telemetry: Optional[object] = None
+) -> RunResult:
+    """Assemble and execute one scenario end to end.
+
+    ``telemetry`` overrides the process-default
+    :class:`~repro.obs.session.TelemetryConfig` (installed by the CLI
+    via :func:`~repro.obs.session.set_default_telemetry`); when neither
+    is set the run carries no instruments at all.
+    """
+    from repro.obs.session import TelemetrySession, current_telemetry
+
     assembly = build_assembly(scenario)
     config = SCHEME_REGISTRY[scenario.scheme].config_transform(scenario.config)
     sim = assembly.sim
     start_rng = sim.rng.stream("start-offsets")
     duration = config.duration
+    horizon = duration + config.drain_time
+
+    telemetry_config = telemetry if telemetry is not None else current_telemetry()
+    session = None
+    if telemetry_config is not None and telemetry_config.enabled():
+        session = TelemetrySession(
+            telemetry_config,
+            sim,
+            network=assembly.network,
+            collector=assembly.metrics,
+            label=scenario.label or scenario.scheme,
+            horizon=horizon,
+        )
 
     _seed_stale_tags(assembly)
 
@@ -333,8 +359,11 @@ def run_scenario(scenario: Scenario) -> RunResult:
         attacker.start(at=min(offset, duration), until=duration)
 
     began = time.perf_counter()
-    sim.run(until=duration + config.drain_time)
+    sim.run(until=horizon)
     wall = time.perf_counter() - began
+
+    if session is not None:
+        session.finalize(wall_seconds=wall)
 
     return RunResult(
         scenario=scenario,
@@ -346,4 +375,5 @@ def run_scenario(scenario: Scenario) -> RunResult:
         clients=assembly.clients,
         attackers=assembly.attackers,
         wall_seconds=wall,
+        telemetry=session,
     )

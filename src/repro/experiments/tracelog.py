@@ -24,11 +24,18 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.sim.engine import Simulator
 from repro.sim.tracing import TraceRecord
 
-#: Every event name the substrate currently emits.
+#: Every event name the substrate currently emits (``span.*`` lifecycle
+#: events live separately in :data:`repro.obs.spans.SPAN_EVENTS`).
 KNOWN_EVENTS = (
     "node.rx.interest",
     "node.rx.data",
     "node.rx.nack",
+    "node.tx.interest",
+    "node.tx.data",
+    "node.tx.nack",
+    "pit.timeout",
+    "pit.aggregate",
+    "cs.hit",
     "link.drop",
 )
 
@@ -119,11 +126,19 @@ class TraceSummary:
     last_time: Optional[float] = None
 
     def rate(self) -> float:
-        """Records per virtual second across the captured span."""
-        if self.total < 2 or self.first_time is None:
+        """Records per virtual second across the captured span.
+
+        Convention: an empty capture rates 0.0; a capture whose records
+        all share one timestamp (including a single record) has no
+        measurable span and is rated over a minimal 1-second window —
+        i.e. ``float(total)`` — rather than silently reporting 0.0.
+        """
+        if self.total == 0 or self.first_time is None:
             return 0.0
         span = (self.last_time or 0.0) - self.first_time
-        return self.total / span if span > 0 else 0.0
+        if span <= 0.0:
+            return float(self.total)
+        return self.total / span
 
 
 def summarize(records: Sequence[TraceRecord]) -> TraceSummary:

@@ -58,6 +58,10 @@ class ContentStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Observability hook (``None`` = off): ``on_hit(name)`` fires on
+        #: every successful lookup.  Wired by the owning node so the
+        #: store itself stays simulator-free.
+        self.on_hit: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self._store)
@@ -109,6 +113,8 @@ class ContentStore:
         if self.policy == "lfu":
             self._frequency[name] = self._frequency.get(name, 0) + 1
         self.hits += 1
+        if self.on_hit is not None:
+            self.on_hit(name)
         return data.copy()
 
     def evict(self, name: NameLike) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.ndn.packets import packet_span_id
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -106,9 +107,11 @@ class Link:
         """
         if not self.up:
             self.packets_dropped += 1
+            self._trace_span_drop(packet, src, "link-down")
             return False
         if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
             self.packets_dropped += 1
+            self._trace_span_drop(packet, src, "loss")
             return False
         now = self.sim.now
         size = packet.size_bytes()
@@ -123,15 +126,42 @@ class Link:
                     src=src.node_id, dst=self.other_endpoint(src).node_id,
                     size=size,
                 )
+            self._trace_span_drop(packet, src, "queue-overflow")
             return False
         self._next_free[src.node_id] = start + tx_time
         arrival = start + tx_time + self.latency
         dst = self.other_endpoint(src)
         in_face = self._faces[dst.node_id]
+        trace = self.sim.trace
+        if trace.active and trace.wants("span.link"):
+            span = packet_span_id(packet)
+            if span:
+                # One record per hop traversal; `queue` is the wait
+                # behind earlier transmissions, `tx` the serialization
+                # time, `prop` the propagation latency.  The three sum to
+                # `arrival - now`, so span decomposition is exact.
+                trace.emit(
+                    "span.link", now,
+                    span=span, src=src.node_id, dst=dst.node_id,
+                    kind=type(packet).__name__.lower(),
+                    queue=start - now, tx=tx_time, prop=self.latency,
+                )
         self.sim.schedule_at(arrival, dst.receive, packet, in_face)
         self.packets_sent += 1
         self.bytes_sent += size
         return True
+
+    def _trace_span_drop(self, packet: object, src: "Node", reason: str) -> None:
+        """Terminal span mark for a packet the link swallowed."""
+        trace = self.sim.trace
+        if trace.active and trace.wants("span.drop"):
+            span = packet_span_id(packet)
+            if span:
+                trace.emit(
+                    "span.drop", self.sim.now,
+                    span=span, src=src.node_id,
+                    dst=self.other_endpoint(src).node_id, reason=reason,
+                )
 
     def utilization(self, direction_src: "Node", now: Optional[float] = None) -> float:
         """Seconds of queued transmission remaining in one direction."""

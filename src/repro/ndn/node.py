@@ -24,7 +24,7 @@ from repro.ndn.cs import ContentStore
 from repro.ndn.fib import Fib
 from repro.ndn.link import Face
 from repro.ndn.name import Name
-from repro.ndn.packets import Data, Interest, Nack
+from repro.ndn.packets import Data, Interest, Nack, packet_span_id
 from repro.ndn.pit import Pit, PitRecord
 from repro.ndn.strategy import BestRouteStrategy
 from repro.sim.engine import Simulator
@@ -73,6 +73,13 @@ class Node:
         self.data_received = 0
         self.nacks_received = 0
         self.unroutable_drops = 0
+        # Table-level observability hooks route through this node's
+        # trace hub (the tables themselves are simulator-free).  The
+        # bound methods early-out on `wants`, so runs with no telemetry
+        # subscriber pay one attribute check per hook site.
+        self.pit.on_timeout = self._trace_pit_timeout
+        self.pit.on_aggregate = self._trace_pit_aggregate
+        self.cs.on_hit = self._trace_cs_hit
 
     # ------------------------------------------------------------------
     # Wiring
@@ -123,10 +130,86 @@ class Node:
 
     def send(self, face: Face, packet, delay: float = 0.0) -> None:
         """Send ``packet`` on ``face``, after an optional compute delay."""
+        trace = self.sim.trace
+        if trace.active:
+            self._trace_tx(trace, packet, delay)
         if delay > 0.0:
             self.sim.schedule(delay, face.send, packet)
         else:
             face.send(packet)
+
+    # ------------------------------------------------------------------
+    # Trace emission (all sites early-out unless a subscriber wants them)
+    # ------------------------------------------------------------------
+    def _trace_tx(self, trace, packet, delay: float) -> None:
+        now = self.sim.now
+        if isinstance(packet, Interest):
+            if trace.wants("node.tx.interest"):
+                trace.emit(
+                    "node.tx.interest", now,
+                    node=self.node_id, content=str(packet.name), nonce=packet.nonce,
+                )
+        elif isinstance(packet, Data):
+            if trace.wants("node.tx.data"):
+                trace.emit(
+                    "node.tx.data", now,
+                    node=self.node_id, content=str(packet.name),
+                    nack=packet.nack.reason.value if packet.nack else None,
+                )
+        else:
+            if trace.wants("node.tx.nack"):
+                trace.emit(
+                    "node.tx.nack", now,
+                    node=self.node_id, content=str(packet.name),
+                    reason=packet.reason.value,
+                )
+        if delay > 0.0 and trace.wants("span.compute"):
+            span = packet_span_id(packet)
+            if span:
+                trace.emit(
+                    "span.compute", now,
+                    span=span, node=self.node_id, dur=delay,
+                )
+
+    def _trace_pit_timeout(self, name, records: int) -> None:
+        trace = self.sim.trace
+        if trace.wants("pit.timeout"):
+            trace.emit(
+                "pit.timeout", self.sim.now,
+                node=self.node_id, content=str(name), records=records,
+            )
+
+    def _trace_pit_aggregate(self, name, record: PitRecord) -> None:
+        trace = self.sim.trace
+        if trace.wants("pit.aggregate"):
+            trace.emit(
+                "pit.aggregate", self.sim.now,
+                node=self.node_id, content=str(name), nonce=record.nonce,
+            )
+        # The aggregated span parks here until content arrives; the mark
+        # lets span reconstruction attribute the wait to this node.
+        if record.nonce and trace.wants("span.pit.wait"):
+            trace.emit(
+                "span.pit.wait", self.sim.now,
+                span=record.nonce, node=self.node_id,
+            )
+
+    def _trace_cs_hit(self, name) -> None:
+        trace = self.sim.trace
+        if trace.wants("cs.hit"):
+            trace.emit(
+                "cs.hit", self.sim.now,
+                node=self.node_id, content=str(name),
+            )
+
+    def trace_span_serve(self, interest: Interest) -> None:
+        """Mark where an Interest span turned around (cache or origin)."""
+        trace = self.sim.trace
+        if interest.nonce and trace.wants("span.serve"):
+            trace.emit(
+                "span.serve", self.sim.now,
+                span=interest.nonce, node=self.node_id,
+            )
 
     def compute_delay(self, *ops: str) -> float:
         """Sample and sum the latencies of the named operations."""
@@ -139,6 +222,8 @@ class Node:
         cached = self.cs.lookup(interest.name, now=self.sim.now)
         if cached is not None:
             cached.tag = interest.tag
+            cached.span_id = interest.nonce
+            self.trace_span_serve(interest)
             self.send(in_face, cached)
             return
         record = PitRecord(
@@ -175,6 +260,7 @@ class Node:
         for record in entry.records:
             out = data.copy()
             out.tag = record.tag
+            out.span_id = record.nonce
             self.send(record.in_face, out)
 
     def on_nack(self, nack: Nack, in_face: Face) -> None:
@@ -265,7 +351,9 @@ class AccessPoint(Node):
         else:
             self._pending.pop(name, None)
         for record in matched:
-            self.send(record.face, data.copy())
+            out = data.copy()
+            out.span_id = record.nonce
+            self.send(record.face, out)
 
     def on_nack(self, nack: Nack, in_face: Face) -> None:
         name = Name(nack.name)

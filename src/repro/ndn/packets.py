@@ -124,6 +124,11 @@ class Data:
     wrapped_key: Optional[bytes] = None
     freshness: float = 10.0
     created_at: float = 0.0
+    # Simulation instrumentation (not a wire field): the Interest span
+    # this copy answers — the requesting Interest's nonce, stamped where
+    # a Data copy is bound to a PIT record or origin request.  0 = no
+    # span.  Protocol code must not read it.
+    span_id: int = 0
     #: Opaque application metadata (e.g. a broadcast-encryption
     #: enclosure's key-sharing generation).  Wire size must be folded
     #: into ``payload_size`` by whoever attaches it.
@@ -174,3 +179,13 @@ class Nack:
 
 
 Packet = Any  # Interest | Data | Nack (kept loose for Python 3.9)
+
+
+def packet_span_id(packet: Packet) -> int:
+    """The Interest-lifecycle span a packet belongs to, or 0.
+
+    Interests and standalone NACKs are identified by their nonce; Data
+    copies carry the explicit ``span_id`` stamped when they were bound
+    to a PIT record (or to the origin request).
+    """
+    return getattr(packet, "span_id", 0) or getattr(packet, "nonce", 0)

@@ -58,6 +58,13 @@ class Pit:
         self._entries: Dict[Name, PitEntry] = {}
         self.expired_records = 0
         self.rejections = 0
+        #: Observability hooks (``None`` = off).  The owning node wires
+        #: these to its trace hub; the table itself stays simulator-free.
+        #: ``on_timeout(name, num_records)`` fires when an expired entry
+        #: is purged; ``on_aggregate(name, record)`` when a request rides
+        #: an in-flight entry instead of being forwarded.
+        self.on_timeout: Optional[Any] = None
+        self.on_aggregate: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,6 +81,8 @@ class Pit:
         if now is not None and now > entry.expires_at:
             self.expired_records += len(entry.records)
             del self._entries[name]
+            if self.on_timeout is not None:
+                self.on_timeout(name, len(entry.records))
             return None
         return entry
 
@@ -107,6 +116,8 @@ class Pit:
             )
             return True
         entry.add(record)
+        if self.on_aggregate is not None:
+            self.on_aggregate(name, record)
         return False
 
     def consume(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
@@ -139,7 +150,10 @@ class Pit:
         dead = [name for name, e in self._entries.items() if now > e.expires_at]
         dropped = 0
         for name in dead:
-            dropped += len(self._entries[name].records)
+            records = len(self._entries[name].records)
+            dropped += records
             del self._entries[name]
+            if self.on_timeout is not None:
+                self.on_timeout(name, records)
         self.expired_records += dropped
         return dropped

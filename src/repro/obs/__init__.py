@@ -1,0 +1,46 @@
+"""Unified observability layer for the TACTIC simulator.
+
+One package gathers everything a run can tell you about itself:
+
+- :mod:`repro.obs.metrics` — a labeled metrics registry (counters,
+  gauges, histograms) with JSON and Prometheus-text exporters;
+- :mod:`repro.obs.spans` — Interest-lifecycle spans reconstructed from
+  ``span.*`` trace events, decomposing per-request latency into
+  queue / serialization / propagation / compute segments;
+- :mod:`repro.obs.samplers` — periodic virtual-time sampling of live
+  state (PIT occupancy, CS hit ratio, Bloom-filter fill, link queues,
+  pending events);
+- :mod:`repro.obs.profiler` — a wall-clock profiler for the event loop
+  (events/sec, per-callback-category time, heap high-water mark);
+- :mod:`repro.obs.session` — the glue: one
+  :class:`~repro.obs.session.TelemetrySession` per run, attached by the
+  experiment runner and driven by ``python -m repro`` flags.
+
+Everything is off by default; an unconfigured run pays nothing beyond
+a handful of ``None`` checks.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SimProfiler
+from repro.obs.samplers import PeriodicSampler
+from repro.obs.session import (
+    TelemetryConfig,
+    TelemetrySession,
+    current_telemetry,
+    set_default_telemetry,
+)
+from repro.obs.spans import SPAN_EVENTS, Span, SpanBuilder, SpanRecorder
+
+__all__ = [
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "SimProfiler",
+    "SPAN_EVENTS",
+    "Span",
+    "SpanBuilder",
+    "SpanRecorder",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "current_telemetry",
+    "set_default_telemetry",
+]

@@ -1,0 +1,316 @@
+"""A labeled metrics registry with JSON and Prometheus-text export.
+
+The shape follows the Prometheus client-library data model in
+miniature: a *family* (name + help + label names) owns *children* (one
+per distinct label-value tuple), and children carry the actual state.
+Three instrument kinds exist:
+
+- :class:`Counter` — monotonically increasing totals
+  (``tactic_router_ops_total{node="edge-0", role="edge", op="bf_lookups"}``);
+- :class:`Gauge` — point-in-time values, settable directly or backed by
+  a zero-argument callback read at snapshot time;
+- :class:`Histogram` — bucketed observations with sum and count
+  (cumulative ``le`` buckets in the export, as Prometheus expects).
+
+A single :meth:`MetricsRegistry.snapshot` walks every family and
+returns plain dicts; :meth:`~MetricsRegistry.to_json` and
+:meth:`~MetricsRegistry.to_prometheus` render that snapshot.  Nothing
+here touches the simulator — wiring lives in :mod:`repro.obs.session`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, tuned for simulated latencies (seconds).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    for label in labelnames:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ValueError(f"invalid label name {label!r}")
+    return tuple(labelnames)
+
+
+class _Family:
+    """Shared family machinery: child lookup keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labels(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: str) -> object:
+        """The child for one label-value combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _new_child(self) -> object:
+        raise NotImplementedError
+
+    def _samples(self) -> List[Tuple[Dict[str, str], object]]:
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in sorted(self._children.items())
+        ]
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount!r}")
+        self.value += amount
+
+
+class Counter(_Family):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less child (families with no labels only)."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} has labels; use .labels(...).inc()")
+        self.labels().inc(amount)
+
+
+class _GaugeChild:
+    __slots__ = ("value", "callback")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.callback: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.callback = None
+        self.value = value
+
+    def set_function(self, callback: Callable[[], float]) -> None:
+        """Read the gauge from ``callback()`` at snapshot time."""
+        self.callback = callback
+
+    def read(self) -> float:
+        return float(self.callback()) if self.callback is not None else self.value
+
+
+class Gauge(_Family):
+    """A point-in-time value, settable or callback-backed."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name} has labels; use .labels(...).set()")
+        self.labels().set(value)
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +inf overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper-bound, cumulative count) pairs, ending at +inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class Histogram(_Family):
+    """Bucketed observations with sum and count."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        ordered = tuple(sorted(buckets))
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = ordered
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name} has labels; use .labels(...).observe()")
+        self.labels().observe(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Owns metric families and renders them as JSON or Prometheus text."""
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, _Family]" = {}
+        #: Hooks run immediately before every snapshot — the bridge point
+        #: for state that lives elsewhere (e.g. router ``OpCounters``).
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Family constructors (idempotent: same name returns the same family)
+    # ------------------------------------------------------------------
+    def _register(self, family: _Family) -> _Family:
+        existing = self._families.get(family.name)
+        if existing is not None:
+            if type(existing) is not type(family) or existing.labelnames != family.labelnames:
+                raise ValueError(
+                    f"metric {family.name!r} re-registered with a different "
+                    f"kind or label set"
+                )
+            return existing
+        self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help, labelnames))
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labelnames, buckets))
+
+    def register_collector(self, hook: Callable[["MetricsRegistry"], None]) -> None:
+        self._collectors.append(hook)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Every family rendered to plain dicts (collectors run first)."""
+        for hook in self._collectors:
+            hook(self)
+        out: Dict[str, dict] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = []
+            for labels, child in family._samples():
+                if family.kind == "counter":
+                    samples.append({"labels": labels, "value": child.value})
+                elif family.kind == "gauge":
+                    samples.append({"labels": labels, "value": child.read()})
+                else:
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "sum": child.sum,
+                            "count": child.count,
+                            "buckets": [
+                                [bound, count] for bound, count in child.cumulative()
+                            ],
+                        }
+                    )
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, default=_json_inf)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        snap = self.snapshot()
+        for name, family in snap.items():
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['kind']}")
+            for sample in family["samples"]:
+                labels = sample["labels"]
+                if family["kind"] in ("counter", "gauge"):
+                    lines.append(f"{name}{_format_labels(labels)} {sample['value']}")
+                    continue
+                for bound, count in sample["buckets"]:
+                    le = "+Inf" if bound == float("inf") else repr(bound)
+                    lines.append(
+                        f"{name}_bucket{_format_labels({**labels, 'le': le})} {count}"
+                    )
+                lines.append(f"{name}_sum{_format_labels(labels)} {sample['sum']}")
+                lines.append(f"{name}_count{_format_labels(labels)} {sample['count']}")
+        return "\n".join(lines) + "\n"
+
+
+def _json_inf(value: object) -> object:  # pragma: no cover - defensive
+    return repr(value)

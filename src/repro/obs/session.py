@@ -1,0 +1,262 @@
+"""Per-run telemetry sessions: the glue between flags and instruments.
+
+``python -m repro`` translates its ``--metrics-out`` / ``--trace-out``
+/ ``--sample-interval`` / ``--profile`` flags into one
+:class:`TelemetryConfig` and installs it as the process default via
+:func:`set_default_telemetry`.  The experiment runner then attaches a
+:class:`TelemetrySession` to every scenario it executes: the session
+wires a fresh :class:`~repro.obs.metrics.MetricsRegistry`, a trace
+recorder over the known substrate events *plus* the ``span.*``
+lifecycle events, a periodic sampler, and the wall-clock profiler —
+whichever subset the config enables — and, at :meth:`~TelemetrySession.
+finalize`, bridges the run's router :class:`~repro.core.metrics.
+OpCounters` and user totals into labeled counters before persisting.
+
+Artifacts accumulate across the runs of one invocation:
+
+- the metrics file is a single JSON document ``{"runs": [...]}``,
+  rewritten after every run so a killed invocation still leaves a
+  parseable file;
+- the trace file is JSONL, one record per line, each carrying a
+  ``run`` field naming the scenario it came from.
+
+With no default config installed (the normal case), every hook in this
+module is a no-op and runs behave byte-for-byte as before.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SimProfiler
+from repro.obs.samplers import PeriodicSampler
+from repro.obs.spans import SPAN_EVENTS
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceRecord
+
+#: OpCounters fields bridged into ``tactic_router_ops_total``.
+ROUTER_OPS = (
+    "bf_lookups",
+    "bf_inserts",
+    "signature_verifications",
+    "client_sig_verifications",
+    "bf_resets",
+    "precheck_drops",
+    "access_path_drops",
+    "nacks_issued",
+)
+
+#: UserStats fields bridged into ``user_outcomes_total``.
+USER_OUTCOMES = (
+    "chunks_requested",
+    "chunks_received",
+    "chunks_usable",
+    "nacks_received",
+    "timeouts",
+    "retransmissions",
+    "tags_requested",
+    "tags_received",
+)
+
+
+@dataclass
+class TelemetryConfig:
+    """What to collect and where to put it; all-off by default."""
+
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    sample_interval: Optional[float] = None
+    profile: bool = False
+    #: Wall-clock heartbeat period in seconds (0 = off); requires
+    #: ``profile`` since the pulse rides the profiled loop.
+    heartbeat: float = 0.0
+    #: Stream for profiler reports and heartbeats (None = stderr).
+    stream: Optional[object] = None
+    _writer: Optional["TelemetryWriter"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def enabled(self) -> bool:
+        return bool(
+            self.metrics_path
+            or self.trace_path
+            or self.sample_interval
+            or self.profile
+        )
+
+    def writer(self) -> "TelemetryWriter":
+        if self._writer is None:
+            self._writer = TelemetryWriter(self)
+        return self._writer
+
+
+class TelemetryWriter:
+    """Accumulates run records and persists them incrementally."""
+
+    def __init__(self, config: TelemetryConfig) -> None:
+        self.config = config
+        self.runs: List[dict] = []
+        self._trace_started = False
+
+    def add_run(self, record: dict) -> None:
+        self.runs.append(record)
+        if self.config.metrics_path:
+            with open(self.config.metrics_path, "w", encoding="utf-8") as fh:
+                json.dump({"runs": self.runs}, fh, indent=2)
+                fh.write("\n")
+
+    def append_trace(self, records: Iterable[TraceRecord], run: str) -> int:
+        if not self.config.trace_path:
+            return 0
+        mode = "a" if self._trace_started else "w"
+        self._trace_started = True
+        count = 0
+        with open(self.config.trace_path, mode, encoding="utf-8") as fh:
+            for record in records:
+                fh.write(
+                    json.dumps(
+                        {
+                            "event": record.name,
+                            "time": record.time,
+                            "run": run,
+                            **record.payload,
+                        }
+                    )
+                )
+                fh.write("\n")
+                count += 1
+        return count
+
+
+class TelemetrySession:
+    """One run's worth of attached instruments."""
+
+    def __init__(
+        self,
+        config: TelemetryConfig,
+        sim: Simulator,
+        network=None,
+        collector=None,
+        label: str = "",
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.collector = collector
+        self.label = label
+        self.registry = MetricsRegistry()
+        self.recorder = None
+        self.sampler = None
+        self.profiler = None
+
+        if config.trace_path:
+            # Imported here: experiments.tracelog sits above obs in the
+            # layer order, and only trace-enabled sessions need it.
+            from repro.experiments.tracelog import KNOWN_EVENTS, TraceRecorder
+
+            self.recorder = TraceRecorder(sim, events=KNOWN_EVENTS + SPAN_EVENTS)
+        if config.sample_interval:
+            self.sampler = PeriodicSampler(
+                sim, config.sample_interval, until=horizon, registry=self.registry
+            )
+            if network is not None:
+                self.sampler.install_standard_probes(network)
+            self.sampler.start()
+        if config.profile:
+            self.profiler = SimProfiler(
+                heartbeat=config.heartbeat,
+                stream=config.stream or sys.stderr,
+            )
+            sim.profiler = self.profiler
+            self.profiler.start()
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def _bridge_collector(self) -> None:
+        """Router OpCounters and user totals become labeled counters."""
+        collector = self.collector
+        if collector is None:
+            return
+        ops = self.registry.counter(
+            "tactic_router_ops_total",
+            "Per-router TACTIC operation counts (Fig. 7 source data)",
+            ("node", "role", "op"),
+        )
+        for role, counters_map in (
+            ("edge", collector.edge_counters),
+            ("core", collector.core_counters),
+        ):
+            for node_id, counters in counters_map.items():
+                for op in ROUTER_OPS:
+                    ops.labels(node=node_id, role=role, op=op).inc(
+                        getattr(counters, op)
+                    )
+        outcomes = self.registry.counter(
+            "user_outcomes_total",
+            "Per-population user workload outcomes (Table IV source data)",
+            ("population", "kind"),
+        )
+        latency = self.registry.histogram(
+            "client_latency_seconds",
+            "Content-retrieval latency of legitimate clients (Fig. 5)",
+        )
+        for stats in collector.users.values():
+            population = "attackers" if stats.is_attacker else "clients"
+            for kind in USER_OUTCOMES:
+                outcomes.labels(population=population, kind=kind).inc(
+                    getattr(stats, kind)
+                )
+            if not stats.is_attacker:
+                for _, sample in stats.latency_samples:
+                    latency.labels().observe(sample)
+
+    def finalize(self, wall_seconds: float = 0.0) -> dict:
+        """Detach instruments, bridge counters, persist, return the record."""
+        if self.profiler is not None:
+            self.profiler.stop()
+            self.sim.profiler = None
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.recorder is not None:
+            self.recorder.stop()
+        self._bridge_collector()
+        record = {
+            "label": self.label,
+            "wall_seconds": wall_seconds,
+            "virtual_seconds": self.sim.now,
+            "events_executed": self.sim.events_executed,
+            "metrics": self.registry.snapshot(),
+            "samples": self.sampler.series_dict() if self.sampler else [],
+            "profile": self.profiler.report() if self.profiler else None,
+        }
+        writer = self.config.writer()
+        writer.add_run(record)
+        if self.recorder is not None:
+            writer.append_trace(self.recorder.records, run=self.label)
+        if self.profiler is not None:
+            stream = self.config.stream or sys.stderr
+            header = f"── profile: {self.label or 'run'} ──"
+            stream.write(header + "\n" + self.profiler.render() + "\n")
+        return record
+
+
+# ----------------------------------------------------------------------
+# Process-wide default (installed by the CLI, read by the runner)
+# ----------------------------------------------------------------------
+_default_config: Optional[TelemetryConfig] = None
+
+
+def set_default_telemetry(config: Optional[TelemetryConfig]) -> None:
+    """Install (or clear, with None) the process-default config."""
+    global _default_config
+    _default_config = config
+
+
+def current_telemetry() -> Optional[TelemetryConfig]:
+    """The process-default config, or None when telemetry is off."""
+    return _default_config

@@ -50,9 +50,14 @@ class Simulator:
         self._now: float = 0.0
         self._running = False
         self._stopped = False
+        self._live = 0
         self.events_executed = 0
         self.rng = RngRegistry(seed)
         self.trace = TraceHub()
+        #: Optional :class:`~repro.obs.profiler.SimProfiler`.  When set,
+        #: ``run`` switches to an instrumented loop that wall-clocks every
+        #: callback; the ``None`` default keeps the hot loop untouched.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -90,12 +95,17 @@ class Simulator:
                 f"cannot schedule at {time!r}, clock already at {self._now!r}"
             )
         event = Event(time, callback, args, priority)
+        event.on_cancel = self._note_cancel
         heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (lazy deletion)."""
         event.cancel()
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -115,22 +125,54 @@ class Simulator:
         self._running = True
         self._stopped = False
         try:
-            heap = self._heap
-            while heap and not self._stopped:
-                event = heap[0][3]
-                if event.cancelled:
+            if self.profiler is not None:
+                self._run_profiled(until)
+            else:
+                heap = self._heap
+                while heap and not self._stopped:
+                    event = heap[0][3]
+                    if event.cancelled:
+                        heapq.heappop(heap)
+                        continue
+                    if until is not None and event.time > until:
+                        break
                     heapq.heappop(heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(heap)
-                self._now = event.time
-                self.events_executed += 1
-                event.callback(*event.args)
+                    self._live -= 1
+                    event.on_cancel = None
+                    self._now = event.time
+                    self.events_executed += 1
+                    event.callback(*event.args)
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:
             self._running = False
+
+    def _run_profiled(self, until: Optional[float]) -> None:
+        """The ``run`` loop with per-callback wall-clock accounting.
+
+        Kept as a separate loop so the unprofiled path pays nothing; the
+        extra work per event is two clock reads and one dict update in
+        the profiler.
+        """
+        heap = self._heap
+        profiler = self.profiler
+        clock = profiler.clock
+        while heap and not self._stopped:
+            event = heap[0][3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            profiler.observe_heap(len(heap))
+            heapq.heappop(heap)
+            self._live -= 1
+            event.on_cancel = None
+            self._now = event.time
+            self.events_executed += 1
+            began = clock()
+            event.callback(*event.args)
+            profiler.record(event.callback, clock() - began)
 
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False when drained."""
@@ -138,6 +180,8 @@ class Simulator:
             event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
+            self._live -= 1
+            event.on_cancel = None
             self._now = event.time
             self.events_executed += 1
             event.callback(*event.args)
@@ -155,5 +199,10 @@ class Simulator:
         return self._heap[0][0] if self._heap else None
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._heap if not entry[3].cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a live counter is maintained across schedule / cancel /
+        execute, so samplers can poll this every tick without scanning
+        the heap.
+        """
+        return self._live

@@ -21,7 +21,7 @@ class Event:
     O(n) cost of removing from the middle of a heap.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "on_cancel")
 
     def __init__(
         self,
@@ -36,10 +36,20 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Fired exactly once on the first ``cancel()`` of a still-pending
+        #: event.  The scheduler uses it to keep its live-event count
+        #: exact without scanning the heap; it is cleared when the event
+        #: is popped for execution, so a late ``cancel()`` is a no-op for
+        #: the count.
+        self.on_cancel: Any = None
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
     def sort_key(self) -> Tuple[float, int, int]:
         return (self.time, self.priority, self.seq)

@@ -1,0 +1,168 @@
+"""The metrics registry: label semantics and export round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestLabelSemantics:
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "ops", ("node", "op"))
+        a = counter.labels(node="edge-0", op="lookup")
+        b = counter.labels(op="lookup", node="edge-0")  # order-insensitive
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert a.value == 3
+
+    def test_distinct_labels_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "", ("node",))
+        counter.labels(node="a").inc(5)
+        counter.labels(node="b").inc(7)
+        assert counter.labels(node="a").value == 5
+        assert counter.labels(node="b").value == 7
+
+    def test_wrong_label_set_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "", ("node",))
+        with pytest.raises(ValueError):
+            counter.labels(nodeid="a")
+        with pytest.raises(ValueError):
+            counter.labels(node="a", extra="b")
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelless_shortcuts(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.02)
+        snap = registry.snapshot()
+        assert snap["c_total"]["samples"][0]["value"] == 3
+        assert snap["g"]["samples"][0]["value"] == 1.5
+        assert snap["h"]["samples"][0]["count"] == 1
+
+    def test_labeled_family_refuses_bare_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("node",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labelnames=("bad-label",))
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labelnames=("__reserved",))
+
+    def test_reregistration_idempotent_but_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "", ("node",))
+        again = registry.counter("c_total", "", ("node",))
+        assert first is again
+        with pytest.raises(ValueError):
+            registry.gauge("c_total", "", ("node",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "", ("node", "op"))
+
+
+class TestGauge:
+    def test_callback_backed_gauge_reads_live(self):
+        registry = MetricsRegistry()
+        state = {"v": 1.0}
+        gauge = registry.gauge("depth", "", ("node",))
+        gauge.labels(node="a").set_function(lambda: state["v"])
+        assert registry.snapshot()["depth"]["samples"][0]["value"] == 1.0
+        state["v"] = 9.0
+        assert registry.snapshot()["depth"]["samples"][0]["value"] == 9.0
+
+    def test_set_overrides_callback(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        child = gauge.labels()
+        child.set_function(lambda: 4.0)
+        child.set(2.0)
+        assert child.read() == 2.0
+
+
+class TestHistogram:
+    def test_bucket_counts_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        child = histogram.labels()
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            child.observe(value)
+        cumulative = dict(child.cumulative())
+        assert cumulative[0.01] == 1
+        assert cumulative[0.1] == 3
+        assert cumulative[1.0] == 4
+        assert cumulative[math.inf] == 5
+        assert child.count == 5
+        assert child.sum == pytest.approx(5.605)
+
+
+class TestExport:
+    def _populated(self):
+        registry = MetricsRegistry()
+        ops = registry.counter("tactic_ops_total", "router ops", ("node", "op"))
+        ops.labels(node="edge-0", op="bf_lookups").inc(12)
+        ops.labels(node="core-0", op="bf_inserts").inc(3)
+        registry.gauge("pit_entries", "PIT size", ("node",)).labels(node="edge-0").set(4)
+        registry.histogram("latency_seconds", buckets=(0.01, 0.1)).labels().observe(0.02)
+        return registry
+
+    def test_json_round_trip(self):
+        registry = self._populated()
+        parsed = json.loads(registry.to_json())
+        ops = parsed["tactic_ops_total"]
+        assert ops["kind"] == "counter"
+        values = {
+            (s["labels"]["node"], s["labels"]["op"]): s["value"]
+            for s in ops["samples"]
+        }
+        assert values == {("core-0", "bf_inserts"): 3, ("edge-0", "bf_lookups"): 12}
+        hist = parsed["latency_seconds"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1][1] == 1  # +Inf cumulative == count
+
+    def test_prometheus_text_format(self):
+        text = self._populated().to_prometheus()
+        assert "# TYPE tactic_ops_total counter" in text
+        assert 'tactic_ops_total{node="edge-0",op="bf_lookups"} 12' in text
+        assert "# TYPE pit_entries gauge" in text
+        assert 'pit_entries{node="edge-0"} 4' in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_count" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("path",)).labels(path='a"b\\c').inc()
+        text = registry.to_prometheus()
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_collector_hook_runs_before_snapshot(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def hook(reg):
+            calls.append(True)
+            reg.counter("bridged_total").inc()
+
+        registry.register_collector(hook)
+        snap = registry.snapshot()
+        assert calls and snap["bridged_total"]["samples"][0]["value"] == 1

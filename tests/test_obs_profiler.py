@@ -1,0 +1,236 @@
+"""Profiler, sampler, and scheduler-observability behaviour."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SimProfiler
+from repro.obs.samplers import PeriodicSampler
+from repro.sim.engine import Simulator
+from tests.conftest import attach_client, build_mini_net
+
+
+class TestSimProfiler:
+    def test_categories_and_rates(self):
+        sim = Simulator(seed=1)
+        profiler = SimProfiler()
+        sim.profiler = profiler
+
+        def tick():
+            pass
+
+        class Widget:
+            def poke(self):
+                pass
+
+        widget = Widget()
+        for i in range(10):
+            sim.schedule(0.1 * i, tick)
+            sim.schedule(0.1 * i + 0.05, widget.poke)
+        profiler.start()
+        sim.run()
+        profiler.stop()
+
+        report = profiler.report()
+        assert report["events"] == 20
+        assert report["events_per_second"] > 0
+        assert report["heap_high_water"] >= 1
+        categories = {row["category"]: row for row in report["categories"]}
+        qual = tick.__qualname__
+        assert categories[qual]["calls"] == 10
+        assert categories["TestSimProfiler.test_categories_and_rates.<locals>.Widget.poke"]["calls"] == 10
+        assert sum(row["share"] for row in report["categories"]) == pytest.approx(1.0)
+
+    def test_profiled_run_executes_identically(self):
+        def trail(sim):
+            order = []
+            sim.schedule(2.0, order.append, "b")
+            sim.schedule(1.0, order.append, "a")
+            event = sim.schedule(1.5, order.append, "x")
+            sim.schedule(0.5, event.cancel)
+            return order
+
+        plain = Simulator(seed=3)
+        expected = trail(plain)
+        plain.run()
+
+        profiled = Simulator(seed=3)
+        profiled.profiler = SimProfiler()
+        got = trail(profiled)
+        profiled.run()
+        assert got == expected == ["a", "b"]
+        assert profiled.events_executed == plain.events_executed
+        assert profiled.now == plain.now
+
+    def test_render_is_textual(self):
+        profiler = SimProfiler()
+        profiler.start()
+        profiler.record(len, 0.001)
+        profiler.stop()
+        text = profiler.render()
+        assert "events/sec" in text
+        assert "len" in text
+
+    def test_heartbeat_writes_pulses(self):
+        stream = io.StringIO()
+        fake_time = [0.0]
+        profiler = SimProfiler(
+            heartbeat=1.0, stream=stream, clock=lambda: fake_time[0]
+        )
+        profiler.start()
+        for _ in range(5):
+            fake_time[0] += 0.6
+            profiler.record(len, 0.0)
+        profiler.stop()
+        pulses = stream.getvalue().strip().splitlines()
+        assert len(pulses) == 2  # beats at t>=1.0 and t>=2.0 within 3.0s
+        assert "ev/s" in pulses[0]
+
+    def test_max_rss_reported_on_posix(self):
+        profiler = SimProfiler()
+        rss = profiler.max_rss_bytes()
+        assert rss is None or rss > 1 << 20
+
+
+class TestPeriodicSampler:
+    def test_series_and_registry_gauges(self):
+        sim = Simulator(seed=2)
+        registry = MetricsRegistry()
+        sampler = PeriodicSampler(sim, interval=1.0, until=5.0, registry=registry)
+        state = {"v": 0.0}
+        sampler.add_probe("queue_depth", lambda: state["v"], node="edge-0")
+
+        def bump():
+            state["v"] += 1.0
+            sim.schedule(1.0, bump)
+
+        sim.schedule(0.5, bump)
+        sampler.start()
+        sim.run(until=5.0)
+
+        series = sampler.series_dict()
+        assert series[0]["name"] == "queue_depth"
+        assert series[0]["labels"] == {"node": "edge-0"}
+        times = [t for t, _ in series[0]["samples"]]
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        values = [v for _, v in series[0]["samples"]]
+        assert values == [1.0, 2.0, 3.0, 4.0, 5.0]
+        # The registry gauge reads the live value at snapshot time.
+        snap = registry.snapshot()
+        assert snap["queue_depth"]["samples"][0]["value"] == state["v"]
+
+    def test_horizon_bounds_ticking(self):
+        sim = Simulator(seed=2)
+        sampler = PeriodicSampler(sim, interval=1.0, until=3.0)
+        sampler.add_probe("pending", sim.pending)
+        sampler.start()
+        sim.run(until=10.0)
+        assert sampler.ticks == 3
+        assert sim.pending() == 0  # no stray tick left queued
+
+    def test_standard_probes_cover_tables_and_links(self):
+        net = build_mini_net()
+        sampler = PeriodicSampler(net.sim, interval=1.0, until=4.0)
+        sampler.install_standard_probes(net.network)
+        names = {probe.name for probe in sampler.probes}
+        assert {
+            "sim_pending_events",
+            "pit_entries",
+            "cs_entries",
+            "cs_hit_ratio",
+            "bf_fill_ratio",
+            "bf_current_fpp",
+            "link_queue_seconds",
+        } <= names
+        client = attach_client(net, "alice")
+        client.start(at=0.0, until=3.0)
+        sampler.start()
+        net.sim.run(until=6.0)
+        assert sampler.ticks == 4
+        pit_series = [
+            series for series in sampler.series_dict()
+            if series["name"] == "pit_entries"
+        ]
+        assert pit_series and all(len(s["samples"]) == 4 for s in pit_series)
+
+    def test_sampling_does_not_change_published_values(self):
+        def measure(with_sampler):
+            net = build_mini_net()
+            if with_sampler:
+                sampler = PeriodicSampler(net.sim, interval=0.5, until=8.0)
+                sampler.install_standard_probes(net.network)
+                sampler.start()
+            client = attach_client(net, "alice")
+            client.start(at=0.0, until=5.0)
+            net.sim.run(until=8.0)
+            return [latency for _, latency in client.stats.latency_samples]
+
+        assert measure(True) == measure(False)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicSampler(Simulator(), interval=0.0)
+
+
+class TestSchedulerObservability:
+    def test_pending_tracks_schedule_execute_cancel(self):
+        sim = Simulator(seed=1)
+        assert sim.pending() == 0
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        first.cancel()
+        assert sim.pending() == 1
+        first.cancel()  # double-cancel is a no-op
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = Simulator(seed=1)
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        event.cancel()  # already executed; count must not underflow
+        assert sim.pending() == 0
+
+    def test_pending_matches_heap_under_churn(self):
+        sim = Simulator(seed=5)
+        rng = sim.rng.stream("churn")
+        live = []
+
+        def spawn():
+            for _ in range(3):
+                live.append(sim.schedule(rng.uniform(0.1, 2.0), lambda: None))
+            if live and rng.random() < 0.5:
+                live.pop(rng.randint(0, len(live) - 1)).cancel()
+            if sim.now < 10.0:
+                sim.schedule(0.5, spawn)
+
+        sim.schedule(0.0, spawn)
+        sim.run(until=5.0)
+        expected = sum(
+            1 for (_, _, _, event) in sim._heap if not event.cancelled
+        )
+        assert sim.pending() == expected
+
+
+class TestTraceSummaryRate:
+    def test_rate_conventions(self):
+        from repro.experiments.tracelog import TraceSummary, summarize
+        from repro.sim.tracing import TraceRecord
+
+        assert TraceSummary().rate() == 0.0
+        single = summarize([TraceRecord("cs.hit", 3.0, {"node": "a"})])
+        assert single.rate() == 1.0  # minimal 1-second window
+        same_time = summarize(
+            [TraceRecord("cs.hit", 3.0, {}), TraceRecord("cs.hit", 3.0, {})]
+        )
+        assert same_time.rate() == 2.0
+        spread = summarize(
+            [TraceRecord("cs.hit", 0.0, {}), TraceRecord("cs.hit", 4.0, {})]
+        )
+        assert spread.rate() == 0.5

@@ -1,0 +1,167 @@
+"""Interest-lifecycle spans: builder semantics and live reconstruction.
+
+The integration tests drive the mini TACTIC topology (client - ap -
+edge - core - core - provider) with a live :class:`SpanRecorder` and
+assert the acceptance property: every ended span's decomposition
+(queue + tx + prop + compute + wait) sums to the client-measured
+end-to-end latency within 1e-6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_EVENTS,
+    SpanBuilder,
+    SpanRecorder,
+    spans_from_records,
+)
+from repro.sim.tracing import TraceRecord
+from tests.conftest import attach_client, build_mini_net
+
+
+def _record(name, time, **payload):
+    return TraceRecord(name=name, time=time, payload=payload)
+
+
+class TestSpanBuilder:
+    def test_link_record_expands_to_three_segments(self):
+        builder = SpanBuilder()
+        builder.add(_record("span.start", 0.0, span=1, node="alice",
+                            content="/p/c/0", kind="content"))
+        builder.add(_record("span.link", 0.0, span=1, src="alice", dst="ap-0",
+                            kind="interest", queue=0.001, tx=0.0005, prop=0.002))
+        span = builder.spans[1]
+        assert [s.kind for s in span.segments] == ["queue", "tx", "prop"]
+        starts = [s.start for s in span.segments]
+        assert starts == [0.0, 0.001, 0.0015]
+        assert span.covered() == pytest.approx(0.0035)
+
+    def test_aggregated_span_wait_is_derived_remainder(self):
+        builder = SpanBuilder()
+        builder.add(_record("span.start", 0.0, span=2, node="bob",
+                            content="/p/c/0", kind="content"))
+        # One hop out (covered 0.003), then the request parks on an
+        # existing PIT entry until the other requester's answer returns.
+        builder.add(_record("span.link", 0.0, span=2, src="bob", dst="edge-0",
+                            kind="interest", queue=0.0, tx=0.001, prop=0.002))
+        builder.add(_record("span.pit.wait", 0.003, span=2, node="edge-0"))
+        builder.add(_record("span.link", 0.010, span=2, src="edge-0", dst="bob",
+                            kind="data", queue=0.0, tx=0.001, prop=0.002))
+        builder.add(_record("span.end", 0.013, span=2, node="bob",
+                            outcome="data", latency=0.013))
+        span = builder.spans[2]
+        parts = span.decompose()
+        assert parts["wait"] == pytest.approx(0.013 - 0.006)
+        assert sum(parts.values()) == pytest.approx(span.latency, abs=1e-12)
+        assert [m.kind for m in span.marks] == ["pit.wait"]
+
+    def test_records_after_end_are_ignored(self):
+        builder = SpanBuilder()
+        builder.add(_record("span.start", 0.0, span=3, node="alice",
+                            content="/p/c", kind="content"))
+        builder.add(_record("span.end", 1.0, span=3, node="alice",
+                            outcome="retransmit", latency=1.0))
+        builder.add(_record("span.link", 1.5, span=3, src="edge-0", dst="alice",
+                            kind="data", queue=0.0, tx=0.001, prop=0.002))
+        builder.add(_record("span.end", 1.5, span=3, node="alice",
+                            outcome="data", latency=1.5))
+        span = builder.spans[3]
+        assert span.outcome == "retransmit"
+        assert span.segments == []
+
+    def test_orphan_records_counted_not_fatal(self):
+        builder = SpanBuilder()
+        builder.add(_record("span.link", 0.0, span=99, src="a", dst="b",
+                            kind="interest", queue=0.0, tx=0.0, prop=0.001))
+        assert builder.spans == {}
+        assert builder.orphans == 1
+
+    def test_compute_and_drop_records(self):
+        builder = SpanBuilder()
+        builder.add(_record("span.start", 0.0, span=4, node="alice",
+                            content="/p/c", kind="content"))
+        builder.add(_record("span.compute", 0.001, span=4, node="edge-0",
+                            dur=0.0004))
+        builder.add(_record("span.drop", 0.002, span=4, src="edge-0",
+                            dst="core-0", reason="queue-overflow"))
+        span = builder.spans[4]
+        assert span.decompose()["compute"] == pytest.approx(0.0004)
+        assert span.marks[0].kind == "drop"
+        assert span.marks[0].detail == "queue-overflow"
+
+
+class TestLiveReconstruction:
+    def _run_mini(self, clients=("alice",), until=12.0):
+        net = build_mini_net()
+        recorder = SpanRecorder(net.sim)
+        attached = [attach_client(net, cid) for cid in clients]
+        for client in attached:
+            client.start(at=0.0, until=5.0)
+        net.sim.run(until=until)
+        recorder.stop()
+        return net, recorder, attached
+
+    def test_two_router_decomposition_sums_to_latency(self):
+        net, recorder, (alice,) = self._run_mini()
+        spans = recorder.spans
+        ended = [s for s in spans.values() if s.ended]
+        data_spans = [s for s in ended if s.outcome == "data"]
+        assert len(data_spans) >= 5
+        for span in data_spans:
+            parts = span.decompose()
+            assert sum(parts.values()) == pytest.approx(span.latency, abs=1e-6)
+            assert parts["wait"] >= -1e-9
+        # The measured latencies are the same values the figures use.
+        sample_latencies = sorted(l for _, l in alice.stats.latency_samples)
+        span_latencies = sorted(s.latency for s in data_spans)
+        assert span_latencies == pytest.approx(sample_latencies)
+
+    def test_registration_span_ends_with_tag(self):
+        _, recorder, _ = self._run_mini()
+        registration = [
+            s for s in recorder.spans.values() if s.kind == "registration"
+        ]
+        assert registration and all(s.outcome == "tag" for s in registration)
+
+    def test_every_started_span_ends_after_drain(self):
+        _, recorder, _ = self._run_mini(until=20.0)
+        assert recorder.spans
+        assert all(s.ended for s in recorder.spans.values())
+
+    def test_hop_sequence_matches_topology(self):
+        _, recorder, _ = self._run_mini()
+        span = next(
+            s for s in recorder.spans.values()
+            if s.outcome == "data" and s.kind == "content"
+        )
+        hops = span.hops()
+        # Outbound chain starts at the client and climbs the line.
+        assert hops[0] == "alice"
+        assert "edge-0" in hops
+
+    def test_offline_round_trip_matches_live(self, tmp_path):
+        from repro.experiments.tracelog import (
+            TraceRecorder,
+            read_jsonl,
+            write_jsonl,
+        )
+
+        net = build_mini_net()
+        recorder = TraceRecorder(net.sim, events=SPAN_EVENTS)
+        live = SpanRecorder(net.sim)
+        client = attach_client(net, "alice")
+        client.start(at=0.0, until=4.0)
+        net.sim.run(until=10.0)
+        recorder.stop()
+        live.stop()
+
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(recorder.records, str(path))
+        offline = spans_from_records(read_jsonl(str(path)))
+        assert set(offline) == set(live.spans)
+        for span_id, span in offline.items():
+            twin = live.spans[span_id]
+            assert span.outcome == twin.outcome
+            assert span.decompose() == pytest.approx(twin.decompose())

@@ -136,3 +136,73 @@ class TestOverheadWhenDisabled:
 
         assert net1.sim.events_executed == net2.sim.events_executed
         assert KNOWN_EVENTS  # sanity: the constant stays non-empty
+
+
+class TestNewSubstrateEvents:
+    """The tx/aggregation/cache/timeout events added to the catalog."""
+
+    def _linear(self, *node_ids):
+        from repro.ndn.network import Network
+        from repro.ndn.node import Node
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        nodes = [net.add_node(Node(sim, nid)) for nid in node_ids]
+        for a, b in zip(nodes, nodes[1:]):
+            net.connect(a, b, bandwidth_bps=500e6, latency=0.001)
+        return sim, net, nodes
+
+    def test_tx_events_mirror_rx_events(self):
+        from repro.ndn.packets import Data
+        from repro.ndn.name import Name as N
+
+        sim, net, (a, b, c) = self._linear("a", "b", "c")
+        net.announce_prefix("/prov", c)
+        c.cs.insert(Data(name=N("/prov/1"), payload=b"p"))
+        recorder = TraceRecorder(sim)
+        sim.schedule(0.0, a.faces[0].send, Interest(name=N("/prov/1")))
+        sim.run()
+        recorder.stop()
+        summary = summarize(recorder.records)
+        assert summary.by_event["node.tx.interest"] > 0
+        assert summary.by_event["node.tx.data"] > 0
+        assert summary.by_event["cs.hit"] == 1  # served at c
+
+    def test_pit_aggregate_event(self):
+        from repro.ndn.name import Name as N
+
+        sim, net, (x, y, z) = self._linear("x", "y", "z")
+        net.announce_prefix("/prov", z)
+        recorder = TraceRecorder(sim)
+        for nonce in (101, 102):
+            sim.schedule(
+                0.0, y.receive, Interest(name=N("/prov/1"), nonce=nonce),
+                y.face_toward(x),
+            )
+        sim.run()
+        recorder.stop()
+        aggregates = recorder.filter(name="pit.aggregate")
+        assert len(aggregates) == 1
+        assert aggregates[0].payload["node"] == "y"
+        assert aggregates[0].payload["nonce"] == 102
+
+    def test_pit_timeout_event(self):
+        from repro.ndn.name import Name as N
+
+        sim, net, (x, y, z) = self._linear("x", "y", "z")
+        net.announce_prefix("/prov", z)  # z never answers
+        recorder = TraceRecorder(sim)
+        sim.schedule(
+            0.0, y.receive, Interest(name=N("/prov/1"), nonce=7),
+            y.face_toward(x),
+        )
+        sim.run()
+        sim.schedule(10.0, lambda: None)  # advance past entry lifetime
+        sim.run()
+        y.pit.purge_expired(sim.now)
+        recorder.stop()
+        timeouts = recorder.filter(name="pit.timeout")
+        assert len(timeouts) == 1
+        assert timeouts[0].payload["node"] == "y"
+        assert timeouts[0].payload["records"] == 1
