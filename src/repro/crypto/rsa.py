@@ -17,9 +17,10 @@ generate in pure Python; tests also exercise 512-bit keys for speed.
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.sim.rng import Stream, entropy_stream
 
 # DER prefix for a SHA-256 DigestInfo (RFC 8017, section 9.2 notes).
 _SHA256_DER_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
@@ -32,7 +33,7 @@ _SMALL_PRIMES = [
 ]
 
 
-def _is_probable_prime(n: int, rng: random.Random, rounds: int = 40) -> bool:
+def _is_probable_prime(n: int, rng: Stream, rounds: int = 40) -> bool:
     """Miller-Rabin probabilistic primality test."""
     if n < 2:
         return False
@@ -61,7 +62,7 @@ def _is_probable_prime(n: int, rng: random.Random, rounds: int = 40) -> bool:
     return True
 
 
-def _generate_prime(bits: int, rng: random.Random) -> int:
+def _generate_prime(bits: int, rng: Stream) -> int:
     """Generate a random probable prime of exactly ``bits`` bits."""
     while True:
         candidate = rng.getrandbits(bits)
@@ -147,7 +148,7 @@ def _emsa_encode(message: bytes, em_len: int) -> bytes:
 def generate_keypair(
     bits: int = 1024,
     e: int = 65537,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Stream] = None,
 ) -> RsaKeyPair:
     """Generate an RSA keypair with modulus of roughly ``bits`` bits.
 
@@ -162,7 +163,7 @@ def generate_keypair(
     rng:
         Optional seeded RNG for reproducible key material.
     """
-    rng = rng or random.Random()
+    rng = rng or entropy_stream()
     half = bits // 2
     while True:
         p = _generate_prime(half, rng)

@@ -14,9 +14,10 @@ carry SHA-256-sized secrets directly.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.rng import Stream, entropy_stream, seeded_stream
 
 #: 2**256 - 189, the largest 256-bit prime.
 PRIME_256 = 2**256 - 189
@@ -42,13 +43,13 @@ def split_secret(
     secret: int,
     threshold: int,
     num_shares: int,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Stream] = None,
     prime: int = PRIME_256,
 ) -> List[Share]:
     """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
     which reconstruct it.
 
-    >>> rng = random.Random(1)
+    >>> rng = seeded_stream(1)
     >>> shares = split_secret(12345, threshold=3, num_shares=5, rng=rng)
     >>> recover_secret(shares[:3])
     12345
@@ -61,7 +62,7 @@ def split_secret(
         raise ValueError("threshold must be >= 1")
     if num_shares < threshold:
         raise ValueError("need at least `threshold` shares")
-    rng = rng or random.Random()
+    rng = rng or entropy_stream()
     coeffs = [secret] + [rng.randrange(prime) for _ in range(threshold - 1)]
     return [Share(x=x, y=_eval_poly(coeffs, x, prime)) for x in range(1, num_shares + 1)]
 
@@ -70,7 +71,7 @@ def share_at(
     secret: int,
     threshold: int,
     x: int,
-    rng: random.Random,
+    rng: Stream,
     prime: int = PRIME_256,
 ) -> Share:
     """Deterministically sample one share at abscissa ``x`` (the caller
@@ -125,7 +126,7 @@ class BroadcastEnclosure:
         self,
         secret: int,
         threshold: int = 3,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Stream] = None,
         prime: int = PRIME_256,
     ) -> None:
         if threshold < 2:
@@ -133,7 +134,7 @@ class BroadcastEnclosure:
         self.secret = secret
         self.threshold = threshold
         self.prime = prime
-        self.rng = rng or random.Random()
+        self.rng = rng or entropy_stream()
         self.generation = 0
         self._client_shares: Dict[str, Share] = {}
         self._public_shares: List[Share] = []

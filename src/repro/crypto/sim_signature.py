@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+from repro.sim.rng import Stream, entropy_stream
 
 # Process-local stand-in for "routers hold provider certificates":
 # fingerprint -> MAC key.  Verification without a registered key fails.
@@ -64,8 +65,8 @@ class SimulatedKeyPair:
     fp: bytes = field(default=b"")
 
     @staticmethod
-    def generate(rng: Optional[random.Random] = None) -> "SimulatedKeyPair":
-        rng = rng or random.Random()
+    def generate(rng: Optional[Stream] = None) -> "SimulatedKeyPair":
+        rng = rng or entropy_stream()
         mac_key = rng.getrandbits(256).to_bytes(32, "big")
         fp = hashlib.sha256(b"simkey:" + mac_key).digest()
         _KEY_REGISTRY[fp] = mac_key

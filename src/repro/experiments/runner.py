@@ -318,18 +318,27 @@ def _seed_stale_tags(assembly: _Assembly) -> None:
 
 
 def run_scenario(
-    scenario: Scenario, telemetry: Optional[object] = None
+    scenario: Scenario,
+    telemetry: Optional[object] = None,
+    sanitizer: Optional[object] = None,
 ) -> RunResult:
     """Assemble and execute one scenario end to end.
 
     ``telemetry`` overrides the process-default
     :class:`~repro.obs.session.TelemetryConfig` (installed by the CLI
     via :func:`~repro.obs.session.set_default_telemetry`); when neither
-    is set the run carries no instruments at all.
+    is set the run carries no instruments at all.  ``sanitizer``
+    installs an explicit :class:`~repro.qa.simsan.SimSan`; when omitted
+    one is installed iff ``REPRO_SIMSAN=1`` is set in the environment.
     """
     from repro.obs.session import TelemetrySession, current_telemetry
+    from repro.qa.simsan import maybe_install
 
     assembly = build_assembly(scenario)
+    if sanitizer is not None:
+        sanitizer.install(assembly.sim, assembly.network)
+    else:
+        sanitizer = maybe_install(assembly.sim, assembly.network)
     config = SCHEME_REGISTRY[scenario.scheme].config_transform(scenario.config)
     sim = assembly.sim
     start_rng = sim.rng.stream("start-offsets")
@@ -364,6 +373,8 @@ def run_scenario(
 
     if session is not None:
         session.finalize(wall_seconds=wall)
+    if sanitizer is not None:
+        sanitizer.finish()
 
     return RunResult(
         scenario=scenario,

@@ -16,7 +16,6 @@ are lost exactly as they would be on a real handover.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -24,6 +23,7 @@ from repro.core.client import Client
 from repro.ndn.link import Face
 from repro.ndn.packets import Data, Nack
 from repro.sim.engine import Simulator
+from repro.sim.rng import Stream
 
 
 @dataclass
@@ -112,7 +112,7 @@ class MobilityManager:
         clients: List[MobileClient],
         interval: float,
         until: float,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Stream] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")

@@ -78,6 +78,9 @@ class BloomFilter:
         self.total_lookups = 0
         self.reset_count = 0
         self.lookups_since_reset = 0
+        #: Optional :class:`~repro.qa.simsan.SimSan` (``None`` = off).
+        #: Receives per-insert count checks and sampled fill checks.
+        self.san = None
 
     # ------------------------------------------------------------------
     # Hashing
@@ -98,6 +101,8 @@ class BloomFilter:
             self._bits[idx >> 3] |= 1 << (idx & 7)
         self.count += 1
         self.total_inserts += 1
+        if self.san is not None:
+            self.san.bf_insert(self)
 
     def contains(self, item: Item) -> bool:
         """Membership test; false positives possible, negatives exact."""
@@ -129,6 +134,8 @@ class BloomFilter:
         self.count = 0
         self.reset_count += 1
         self.lookups_since_reset = 0
+        if self.san is not None:
+            self.san.bf_reset(self)
 
     def insert_with_auto_reset(self, item: Item) -> bool:
         """Insert, then reset if saturated.  Returns True if a reset fired."""

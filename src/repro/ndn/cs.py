@@ -62,6 +62,9 @@ class ContentStore:
         #: every successful lookup.  Wired by the owning node so the
         #: store itself stays simulator-free.
         self.on_hit: Optional[object] = None
+        #: Optional :class:`~repro.qa.simsan.SimSan`; same ``None`` = off
+        #: idiom.  Receives an occupancy-bound callback per insert.
+        self.san: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self._store)
@@ -88,6 +91,8 @@ class ContentStore:
         self._frequency[name] = self._frequency.get(name, 0)
         if len(self._store) > self.capacity:
             self._evict_one()
+        if self.san is not None:
+            self.san.cs_insert(self)
 
     def _evict_one(self) -> None:
         if self.policy == "lfu":

@@ -8,7 +8,7 @@ FIB lookups; exact matching drives PIT and content-store lookups.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple, Union
+from typing import Iterable, Iterator, Tuple, Union
 
 NameLike = Union["Name", str, Iterable[str]]
 
@@ -29,7 +29,7 @@ class Name:
 
     __slots__ = ("components", "_uri", "_hash")
 
-    def __new__(cls, value: NameLike = ()):
+    def __new__(cls, value: NameLike = ()) -> "Name":
         # Fast path: Name(name) returns the same immutable instance, so
         # hot call sites can normalize without allocation or rehashing.
         if type(value) is cls:
@@ -65,7 +65,7 @@ class Name:
     def __getitem__(self, index: int) -> str:
         return self.components[index]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self.components)
 
     def prefix(self, length: int) -> "Name":

@@ -24,10 +24,11 @@ from repro.ndn.cs import ContentStore
 from repro.ndn.fib import Fib
 from repro.ndn.link import Face
 from repro.ndn.name import Name
-from repro.ndn.packets import Data, Interest, Nack, packet_span_id
+from repro.ndn.packets import Data, Interest, Nack, Packet, packet_span_id
 from repro.ndn.pit import Pit, PitRecord
 from repro.ndn.strategy import BestRouteStrategy
 from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceHub
 
 
 class Node:
@@ -96,7 +97,7 @@ class Node:
     # ------------------------------------------------------------------
     # Packet I/O
     # ------------------------------------------------------------------
-    def receive(self, packet, in_face: Face) -> None:
+    def receive(self, packet: Packet, in_face: Face) -> None:
         """Entry point invoked by links on packet arrival."""
         trace = self.sim.trace
         if isinstance(packet, Interest):
@@ -128,7 +129,7 @@ class Node:
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown packet type: {type(packet)!r}")
 
-    def send(self, face: Face, packet, delay: float = 0.0) -> None:
+    def send(self, face: Face, packet: Packet, delay: float = 0.0) -> None:
         """Send ``packet`` on ``face``, after an optional compute delay."""
         trace = self.sim.trace
         if trace.active:
@@ -141,7 +142,7 @@ class Node:
     # ------------------------------------------------------------------
     # Trace emission (all sites early-out unless a subscriber wants them)
     # ------------------------------------------------------------------
-    def _trace_tx(self, trace, packet, delay: float) -> None:
+    def _trace_tx(self, trace: TraceHub, packet: Packet, delay: float) -> None:
         now = self.sim.now
         if isinstance(packet, Interest):
             if trace.wants("node.tx.interest"):
@@ -171,7 +172,7 @@ class Node:
                     span=span, node=self.node_id, dur=delay,
                 )
 
-    def _trace_pit_timeout(self, name, records: int) -> None:
+    def _trace_pit_timeout(self, name: Name, records: int) -> None:
         trace = self.sim.trace
         if trace.wants("pit.timeout"):
             trace.emit(
@@ -179,7 +180,7 @@ class Node:
                 node=self.node_id, content=str(name), records=records,
             )
 
-    def _trace_pit_aggregate(self, name, record: PitRecord) -> None:
+    def _trace_pit_aggregate(self, name: Name, record: PitRecord) -> None:
         trace = self.sim.trace
         if trace.wants("pit.aggregate"):
             trace.emit(
@@ -194,7 +195,7 @@ class Node:
                 span=record.nonce, node=self.node_id,
             )
 
-    def _trace_cs_hit(self, name) -> None:
+    def _trace_cs_hit(self, name: Name) -> None:
         trace = self.sim.trace
         if trace.wants("cs.hit"):
             trace.emit(

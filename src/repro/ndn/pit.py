@@ -10,7 +10,7 @@ per-downstream whether to deliver content or content+NACK.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.ndn.name import Name, NameLike
 
@@ -65,6 +65,9 @@ class Pit:
         #: an in-flight entry instead of being forwarded.
         self.on_timeout: Optional[Any] = None
         self.on_aggregate: Optional[Any] = None
+        #: Optional :class:`~repro.qa.simsan.SimSan`; same ``None`` = off
+        #: idiom.  Receives record-conservation and occupancy callbacks.
+        self.san: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,6 +86,8 @@ class Pit:
             del self._entries[name]
             if self.on_timeout is not None:
                 self.on_timeout(name, len(entry.records))
+            if self.san is not None:
+                self.san.pit_expire(self, len(entry.records))
             return None
         return entry
 
@@ -107,6 +112,8 @@ class Pit:
                 self.purge_expired(now)
                 if len(self._entries) >= self.capacity:
                     self.rejections += 1
+                    if self.san is not None:
+                        self.san.pit_reject(self)
                     return False
             self._entries[name] = PitEntry(
                 name=name,
@@ -114,10 +121,14 @@ class Pit:
                 created_at=now,
                 expires_at=now + self.entry_lifetime,
             )
+            if self.san is not None:
+                self.san.pit_insert(self, aggregated=False)
             return True
         entry.add(record)
         if self.on_aggregate is not None:
             self.on_aggregate(name, record)
+        if self.san is not None:
+            self.san.pit_insert(self, aggregated=True)
         return False
 
     def consume(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
@@ -126,9 +137,13 @@ class Pit:
         entry = self.find(name, now)
         if entry is not None:
             del self._entries[name]
+            if self.san is not None:
+                self.san.pit_consume(self, entry)
         return entry
 
-    def drop_record(self, name: NameLike, predicate) -> int:
+    def drop_record(
+        self, name: NameLike, predicate: Callable[[PitRecord], bool]
+    ) -> int:
         """Remove records matching ``predicate``; returns count removed.
 
         Used by edge routers on NACK arrival: "rE drops the request with
@@ -143,6 +158,8 @@ class Pit:
         removed = before - len(entry.records)
         if not entry.records:
             del self._entries[name]
+        if removed and self.san is not None:
+            self.san.pit_drop(self, removed)
         return removed
 
     def purge_expired(self, now: float) -> int:
@@ -156,4 +173,6 @@ class Pit:
             if self.on_timeout is not None:
                 self.on_timeout(name, records)
         self.expired_records += dropped
+        if dropped and self.san is not None:
+            self.san.pit_expire(self, dropped)
         return dropped

@@ -17,11 +17,11 @@ consult ``self.strategy.select(...)``.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional, Sequence
 
 from repro.ndn.fib import NextHop
 from repro.ndn.link import Face
+from repro.sim.rng import Stream
 
 
 class Strategy:
@@ -33,7 +33,7 @@ class Strategy:
         self,
         nexthops: Sequence[NextHop],
         in_face: Optional[Face],
-        rng: random.Random,
+        rng: Stream,
     ) -> List[Face]:
         raise NotImplementedError
 
@@ -57,7 +57,12 @@ class BestRouteStrategy(Strategy):
 
     name = "best-route"
 
-    def select(self, nexthops, in_face, rng):
+    def select(
+        self,
+        nexthops: Sequence[NextHop],
+        in_face: Optional[Face],
+        rng: Stream,
+    ) -> List[Face]:
         usable = self._usable(nexthops, in_face)
         return [usable[0].face] if usable else []
 
@@ -67,7 +72,12 @@ class MulticastStrategy(Strategy):
 
     name = "multicast"
 
-    def select(self, nexthops, in_face, rng):
+    def select(
+        self,
+        nexthops: Sequence[NextHop],
+        in_face: Optional[Face],
+        rng: Stream,
+    ) -> List[Face]:
         return [hop.face for hop in self._usable(nexthops, in_face)]
 
 
@@ -77,7 +87,12 @@ class LoadBalanceStrategy(Strategy):
 
     name = "load-balance"
 
-    def select(self, nexthops, in_face, rng):
+    def select(
+        self,
+        nexthops: Sequence[NextHop],
+        in_face: Optional[Face],
+        rng: Stream,
+    ) -> List[Face]:
         usable = self._usable(nexthops, in_face)
         if not usable:
             return []

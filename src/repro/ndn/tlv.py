@@ -19,10 +19,13 @@ signature value 0x17); TACTIC extensions live in the application range
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.ndn.name import Name
-from repro.ndn.packets import AttachedNack, Data, Interest, Nack, NackReason
+from repro.ndn.packets import AttachedNack, Data, Interest, Nack, NackReason, Packet
+
+if TYPE_CHECKING:  # runtime import would be circular (core imports ndn)
+    from repro.core.tag import Tag
 
 # --- Standard NDN TLV types -------------------------------------------
 TLV_INTEREST = 0x05
@@ -136,7 +139,7 @@ def decode_name(value: bytes) -> Name:
 # ----------------------------------------------------------------------
 # Tags
 # ----------------------------------------------------------------------
-def encode_tag(tag) -> bytes:
+def encode_tag(tag: "Tag") -> bytes:
     level = -1 if tag.access_level is None else tag.access_level
     body = b"".join(
         [
@@ -151,7 +154,7 @@ def encode_tag(tag) -> bytes:
     return encode_tlv(TLV_TAG, body)
 
 
-def decode_tag(value: bytes):
+def decode_tag(value: bytes) -> "Tag":
     from repro.core.tag import Tag
 
     fields = dict(iter_tlvs(value))
@@ -309,7 +312,7 @@ def decode_nack(buf: bytes) -> Nack:
     )
 
 
-def encode_packet(packet) -> bytes:
+def encode_packet(packet: Packet) -> bytes:
     """Encode any simulator packet to its wire form."""
     if isinstance(packet, Interest):
         return encode_interest(packet)
@@ -320,7 +323,7 @@ def encode_packet(packet) -> bytes:
     raise TlvError(f"cannot encode {type(packet)!r}")
 
 
-def decode_packet(buf: bytes):
+def decode_packet(buf: bytes) -> Packet:
     """Decode a wire buffer into the matching packet object."""
     for tlv_type, _ in iter_tlvs(buf):
         if tlv_type == TLV_INTEREST:

@@ -32,6 +32,27 @@ DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
 )
 
+#: Every metric family name the codebase registers.  New instruments
+#: must be declared here first: simlint rule SL003 checks the literal
+#: name at every ``counter(...)`` / ``gauge(...)`` / ``histogram(...)``
+#: / ``add_probe(...)`` call site against this registry, so a typo'd
+#: name fails lint instead of silently forking a new family (see
+#: docs/STATIC_ANALYSIS.md).
+METRIC_NAMES = (
+    # Bridged run totals (repro.obs.session).
+    "tactic_router_ops_total",
+    "user_outcomes_total",
+    "client_latency_seconds",
+    # Periodic sampler probes (repro.obs.samplers).
+    "sim_pending_events",
+    "pit_entries",
+    "cs_entries",
+    "cs_hit_ratio",
+    "bf_fill_ratio",
+    "bf_current_fpp",
+    "link_queue_seconds",
+)
+
 
 def _check_name(name: str) -> str:
     if not _NAME_RE.match(name):

@@ -1,0 +1,38 @@
+"""Lint findings and their reporters."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=Finding.sort_key)
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: CODE message`` row per finding."""
+    return "\n".join(
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}"
+        for f in sort_findings(findings)
+    )
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """A JSON array of finding objects (stable field order)."""
+    return json.dumps([asdict(f) for f in sort_findings(findings)], indent=2)

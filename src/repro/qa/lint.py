@@ -1,0 +1,187 @@
+"""simlint: the scanner, suppression handling, and CLI.
+
+Usage::
+
+    python -m repro.qa.lint src/repro              # text report, exit 1 on findings
+    python -m repro.qa.lint src/repro --format json
+    python -m repro.qa.lint --list-rules
+    python -m repro.qa.lint src/repro --select SL002,SL004
+
+Suppression: append ``# simlint: disable=SL001`` (comma-separate for
+several codes, omit ``=...`` to disable every rule) to the flagged
+line.  Suppressions are expected to carry a justifying comment — the
+reviewer's contract, not the tool's.
+
+The scan runs two passes: the first parses every file and collects the
+declared event/metric registries (for SL003), the second runs every
+rule over every module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.qa.findings import Finding, render_json, render_text, sort_findings
+from repro.qa.rules import ALL_RULES, LintContext, Module, Rule, RULES_BY_CODE
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel for "every rule disabled on this line".
+_ALL_CODES = frozenset({"*"})
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def parse_suppressions(source: str) -> Dict[int, frozenset]:
+    """Map line number -> set of disabled rule codes ('*' = all)."""
+    out: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = _ALL_CODES
+        else:
+            out[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return out
+
+
+def load_module(path: Path) -> Tuple[Optional[Module], Optional[Finding]]:
+    """Parse one file; a syntax error becomes a synthetic finding."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule="SL000",
+            message=f"syntax error: {exc.msg}",
+        )
+    return Module(path=str(path), source=source, tree=tree), None
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Sequence[str]] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Finding]:
+    """Run the rule set over ``paths`` and return surviving findings."""
+    active = [r for r in rules if select is None or r.code in select]
+    modules: List[Module] = []
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        module, error = load_module(path)
+        if error is not None:
+            findings.append(error)
+        if module is not None:
+            modules.append(module)
+
+    ctx = LintContext()
+    for module in modules:
+        ctx.merge_registries(module)
+
+    suppressions: Dict[str, Dict[int, frozenset]] = {}
+    for module in modules:
+        suppressions[module.path] = parse_suppressions(module.source)
+        for rule in active:
+            if not rule.applies_to(module):
+                continue
+            findings.extend(rule.check(module, ctx))
+
+    return sort_findings(
+        f for f in findings
+        if not _suppressed(f, suppressions.get(f.path, {}))
+    )
+
+
+def _suppressed(finding: Finding, by_line: Dict[int, frozenset]) -> bool:
+    codes = by_line.get(finding.line)
+    if codes is None:
+        return False
+    return codes is _ALL_CODES or "*" in codes or finding.rule in codes
+
+
+def list_rules() -> str:
+    lines = ["simlint rules:"]
+    for rule in ALL_RULES:
+        lines.append(f"  {rule.code}  {rule.title}")
+        doc = (rule.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"         {doc}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.qa.lint",
+        description="Simulator-specific static analysis (simlint).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=[], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    if not args.paths:
+        print("usage: python -m repro.qa.lint <paths> (or --list-rules)",
+              file=sys.stderr)
+        return 2
+    select: Optional[Set[str]] = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+        unknown = select - set(RULES_BY_CODE)
+        if unknown:
+            print(f"unknown rule codes: {sorted(unknown)}", file=sys.stderr)
+            return 2
+    findings = lint_paths(args.paths, select=select)
+    if findings:
+        render = render_json if args.format == "json" else render_text
+        print(render(findings))
+        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print("[]")
+    else:
+        print("simlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,417 @@
+"""The simlint rule catalogue.
+
+Each rule is an AST visitor over one module; the scanner in
+:mod:`repro.qa.lint` drives every rule over every file and applies
+per-line ``# simlint: disable=SLxxx`` suppressions afterwards.  Rules
+are *simulator-specific*: they encode invariants a generic linter
+cannot know — that virtual time must never read the wall clock, that
+randomness must thread :mod:`repro.sim.rng` streams, that telemetry
+names must be declared before use.
+
+Path scoping: rules that only apply to simulation-affecting code
+compute a package-relative path (the part after the last ``repro``
+path segment) and match it against subpackage prefixes.  Files outside
+any ``repro`` tree — e.g. test fixtures — are always in scope, so rule
+tests can exercise rules on standalone snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.qa.findings import Finding
+
+#: Subpackages whose code executes under (or feeds) the virtual clock.
+SIM_AFFECTING_PREFIXES = (
+    "sim/",
+    "ndn/",
+    "core/",
+    "filters/",
+    "workload/",
+    "topology/",
+    "crypto/",
+    "extensions/",
+    "baselines/",
+)
+
+#: Wall-clock callables banned from simulation paths (SL001).
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Names importable ``from time import ...`` that read the wall clock.
+_WALL_CLOCK_FROM_TIME = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+#: Callable factories whose result is a legitimate deferred callback
+#: (SL005 does not treat these as "invoked at schedule time").
+_CALLBACK_FACTORIES = {"partial", "methodcaller", "attrgetter", "itemgetter"}
+
+#: Registry variable names recognised by the SL003 collection pass.
+_EVENT_REGISTRY_NAMES = ("KNOWN_EVENTS", "SPAN_EVENTS")
+_METRIC_REGISTRY_NAMES = ("METRIC_NAMES",)
+
+#: Trace-hub methods whose first string argument is an event name.
+_EVENT_CALL_ATTRS = {"emit", "wants", "subscribe", "unsubscribe"}
+
+#: Metric-construction methods whose first string argument is a family
+#: name.
+_METRIC_CALL_ATTRS = {"counter", "gauge", "histogram", "add_probe"}
+
+
+def package_relpath(path: str) -> str:
+    """The path relative to the innermost ``repro`` package root.
+
+    ``src/repro/ndn/node.py`` -> ``ndn/node.py``; a path with no
+    ``repro`` segment maps to its bare filename (always in scope).
+    """
+    parts = PurePath(path).parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        tail = parts[anchor + 1:]
+        if tail:
+            return "/".join(tail)
+    return PurePath(path).name
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, or '' when not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _first_str_arg(call: ast.Call) -> Tuple[str, bool]:
+    """(value, is_literal) for a call's first positional argument."""
+    if call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value, True
+    return "", False
+
+
+@dataclass
+class Module:
+    """One parsed file under lint."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    relpath: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.relpath:
+            self.relpath = package_relpath(self.path)
+
+
+@dataclass
+class LintContext:
+    """Cross-file state shared by all rules (built in a first pass)."""
+
+    declared_events: Set[str] = field(default_factory=set)
+    declared_metrics: Set[str] = field(default_factory=set)
+
+    def merge_registries(self, module: Module) -> None:
+        """Collect module-level event/metric name declarations."""
+        for node in module.tree.body:
+            targets: List[ast.expr] = []
+            value = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                strings = _collect_strings(value)
+                if name in _EVENT_REGISTRY_NAMES or name.endswith("_EVENTS"):
+                    self.declared_events.update(strings)
+                elif name in _METRIC_REGISTRY_NAMES or name.endswith("_METRICS"):
+                    self.declared_metrics.update(strings)
+
+
+def _collect_strings(node: ast.AST) -> List[str]:
+    out: List[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            out.append(sub.value)
+    return out
+
+
+class Rule:
+    """Base class: yield findings for one module."""
+
+    code = "SL000"
+    title = "abstract"
+
+    def applies_to(self, module: Module) -> bool:
+        return True
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+def _in_sim_scope(relpath: str) -> bool:
+    """True for sim-affecting files (and for bare fixture filenames)."""
+    if "/" not in relpath:
+        return True
+    return relpath.startswith(SIM_AFFECTING_PREFIXES)
+
+
+class WallClockRule(Rule):
+    """SL001: no wall-clock reads in simulation paths.
+
+    Virtual time comes from ``sim.now``; a ``time.time()`` anywhere in
+    a sim-affecting module couples event timing to the host machine and
+    silently breaks same-seed reproducibility.  Wall-clock measurement
+    belongs in :mod:`repro.obs` (profiler) and the experiment harness,
+    both of which are out of scope for this rule.
+    """
+
+    code = "SL001"
+    title = "no wall-clock reads in sim/ndn/core paths"
+
+    def applies_to(self, module: Module) -> bool:
+        return _in_sim_scope(module.relpath)
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        from_time_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_FROM_TIME:
+                        from_time_names.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted in _WALL_CLOCK_CALLS or dotted in from_time_names:
+                yield self._finding(
+                    module,
+                    node,
+                    f"wall-clock call {dotted}() in a simulation path; "
+                    f"use virtual time (sim.now) instead",
+                )
+
+
+class StdlibRandomRule(Rule):
+    """SL002: no stdlib ``random`` imports outside ``repro.sim.rng``.
+
+    Every sim-affecting draw must come from a named, explicitly seeded
+    stream so a single master seed determines the run.  A module-level
+    ``import random`` invites unseeded ``random.Random()`` instances or
+    — worse — module-level ``random.random()`` sharing one global RNG
+    across components.  Thread :data:`repro.sim.rng.Stream` /
+    :func:`repro.sim.rng.seeded_stream` instead.
+    """
+
+    code = "SL002"
+    title = "no stdlib random outside repro.sim.rng"
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._finding(
+                            module,
+                            node,
+                            "stdlib 'random' imported; thread a seeded "
+                            "repro.sim.rng stream instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self._finding(
+                    module,
+                    node,
+                    "stdlib 'random' imported; thread a seeded "
+                    "repro.sim.rng stream instead",
+                )
+
+
+class UndeclaredNameRule(Rule):
+    """SL003: every emitted event / registered metric name is declared.
+
+    A typo'd event name in ``trace.emit("node.rx.intrest", ...)``
+    doesn't error — the record is published to zero subscribers and the
+    telemetry silently drops.  This rule checks the literal first
+    argument of trace-hub calls against the declared event registries
+    (``KNOWN_EVENTS`` / ``SPAN_EVENTS`` / any ``*_EVENTS`` tuple) and
+    of metric constructors against ``METRIC_NAMES``.  The rule only
+    fires when the scan actually saw a registry declaration, so linting
+    a lone snippet without its registries stays quiet.
+    """
+
+    code = "SL003"
+    title = "event/metric names must be declared in a registry"
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            attr = func.attr
+            if attr in _EVENT_CALL_ATTRS and ctx.declared_events:
+                name, literal = _first_str_arg(node)
+                if literal and name != "*" and name not in ctx.declared_events:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"event name {name!r} is not declared in any "
+                        f"event registry (KNOWN_EVENTS / SPAN_EVENTS)",
+                    )
+            elif attr in _METRIC_CALL_ATTRS and ctx.declared_metrics:
+                name, literal = _first_str_arg(node)
+                if literal and name not in ctx.declared_metrics:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"metric name {name!r} is not declared in "
+                        f"METRIC_NAMES",
+                    )
+
+
+class MutableDefaultRule(Rule):
+    """SL004: no mutable default arguments.
+
+    A ``def f(x, acc=[])`` shares one list across every call — in a
+    simulator that means state leaking *between runs* in the same
+    process, the exact aliasing bug that makes "same seed, different
+    result" reports unreproducible.
+    """
+
+    code = "SL004"
+    title = "no mutable default arguments"
+
+    _MUTABLE_CALLS = {
+        "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+        "Counter", "deque",
+    }
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self._finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        f"use None and construct inside the body",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return dotted.split(".")[-1] in self._MUTABLE_CALLS
+        return False
+
+
+class ScheduleMisuseRule(Rule):
+    """SL005: no negative delays or invoked callbacks in ``schedule()``.
+
+    ``sim.schedule(-1.0, cb)`` raises at runtime — but only on the
+    code path that reaches it.  ``sim.schedule(d, cb())`` is worse: the
+    callback runs *immediately* (at schedule time) and ``None`` is
+    scheduled, which detonates ``delay`` seconds later with a confusing
+    "NoneType is not callable".  Both are caught statically here.
+    ``functools.partial`` and friends are recognised as legitimate
+    callback factories.
+    """
+
+    code = "SL005"
+    title = "schedule() misuse: negative delay / callback invoked"
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = _dotted_name(node.func).split(".")[-1]
+            if func_name not in ("schedule", "schedule_at"):
+                continue
+            if node.args:
+                delay = node.args[0]
+                if (
+                    isinstance(delay, ast.UnaryOp)
+                    and isinstance(delay.op, ast.USub)
+                    and isinstance(delay.operand, ast.Constant)
+                    and isinstance(delay.operand.value, (int, float))
+                ):
+                    yield self._finding(
+                        module,
+                        delay,
+                        f"negative literal passed to {func_name}(); the "
+                        f"engine rejects past scheduling at runtime",
+                    )
+            if len(node.args) >= 2:
+                callback = node.args[1]
+                if isinstance(callback, ast.Call):
+                    factory = _dotted_name(callback.func).split(".")[-1]
+                    if factory not in _CALLBACK_FACTORIES:
+                        yield self._finding(
+                            module,
+                            callback,
+                            f"callback argument of {func_name}() is "
+                            f"invoked at schedule time; pass the "
+                            f"callable (or functools.partial) instead",
+                        )
+
+
+#: The active rule set, in code order.
+ALL_RULES: Sequence[Rule] = (
+    WallClockRule(),
+    StdlibRandomRule(),
+    UndeclaredNameRule(),
+    MutableDefaultRule(),
+    ScheduleMisuseRule(),
+)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -58,6 +58,11 @@ class Simulator:
         #: ``run`` switches to an instrumented loop that wall-clocks every
         #: callback; the ``None`` default keeps the hot loop untouched.
         self.profiler = None
+        #: Optional :class:`~repro.qa.simsan.SimSan`.  Same pattern as the
+        #: profiler: when set, ``run`` uses a sanitized loop that checks
+        #: clock monotonicity and hashes the event stream; ``None`` keeps
+        #: the hot loop untouched.  Takes precedence over the profiler.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -125,7 +130,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         try:
-            if self.profiler is not None:
+            if self.sanitizer is not None:
+                self._run_sanitized(until)
+            elif self.profiler is not None:
                 self._run_profiled(until)
             else:
                 heap = self._heap
@@ -173,6 +180,31 @@ class Simulator:
             began = clock()
             event.callback(*event.args)
             profiler.record(event.callback, clock() - began)
+
+    def _run_sanitized(self, until: Optional[float]) -> None:
+        """The ``run`` loop with SimSan invariant hooks.
+
+        A separate loop (like ``_run_profiled``) so the unsanitized
+        path pays nothing; the extra work per event is one method call
+        into the sanitizer, which checks clock monotonicity and folds
+        the event into the determinism hash.
+        """
+        heap = self._heap
+        san = self.sanitizer
+        while heap and not self._stopped:
+            event = heap[0][3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(heap)
+            self._live -= 1
+            event.on_cancel = None
+            san.before_event(event, self._now)
+            self._now = event.time
+            self.events_executed += 1
+            event.callback(*event.args)
 
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False when drained."""

@@ -14,11 +14,12 @@ access points hanging off the edge routers.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import networkx as nx
+
+from repro.sim.rng import seeded_stream
 
 #: Paper link parameters.
 CORE_BANDWIDTH_BPS = 500e6
@@ -109,7 +110,7 @@ def generate_scale_free_plan(
     if num_edge < 1 or num_providers < 1:
         raise ValueError("need at least one edge router and one provider")
 
-    rng = random.Random(seed)
+    rng = seeded_stream(seed)
     plan = TopologyPlan()
     plan.core_ids = [f"core-{i}" for i in range(num_core)]
     plan.edge_ids = [f"edge-{i}" for i in range(num_edge)]

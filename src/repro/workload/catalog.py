@@ -9,11 +9,11 @@ tag satisfies.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.ndn.name import Name
+from repro.sim.rng import seeded_stream
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class Catalog:
         if shuffle_seed is not None:
             # Interleave providers in the popularity ranking so rank 1
             # is not always provider 0's first object.
-            random.Random(shuffle_seed).shuffle(self.entries)
+            seeded_stream(shuffle_seed).shuffle(self.entries)
 
     def __len__(self) -> int:
         return len(self.entries)

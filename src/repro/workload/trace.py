@@ -17,11 +17,11 @@ stronger comparison basis than same-seed resampling.
 from __future__ import annotations
 
 import json
-import random
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.core.client import Client
+from repro.sim.rng import seeded_stream
 from repro.workload.zipf import ZipfSampler
 
 
@@ -69,7 +69,7 @@ class RequestTrace:
     ) -> "RequestTrace":
         """Poisson arrivals per user, Zipf object choice — the paper's
         workload, frozen into a replayable artifact."""
-        rng = random.Random(seed)
+        rng = seeded_stream(seed)
         sampler = ZipfSampler(num_objects, alpha, rng)
         entries: List[TraceRecordEntry] = []
         for user_id in user_ids:

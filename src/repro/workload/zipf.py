@@ -9,21 +9,22 @@ of requests over catalogs of hundreds of objects.
 from __future__ import annotations
 
 import bisect
-import random
 from typing import List
+
+from repro.sim.rng import Stream, seeded_stream
 
 
 class ZipfSampler:
     """Draws 0-based item indices with Zipf(alpha) popularity.
 
-    >>> rng = random.Random(7)
+    >>> rng = seeded_stream(7)
     >>> sampler = ZipfSampler(100, alpha=0.7, rng=rng)
     >>> draws = [sampler.sample() for _ in range(1000)]
     >>> draws.count(0) > draws.count(99)
     True
     """
 
-    def __init__(self, num_items: int, alpha: float, rng: random.Random) -> None:
+    def __init__(self, num_items: int, alpha: float, rng: Stream) -> None:
         if num_items <= 0:
             raise ValueError(f"num_items must be positive, got {num_items}")
         if alpha < 0:

@@ -1,0 +1,351 @@
+"""simlint: one failing fixture per rule, suppression semantics,
+reporters, CLI exit codes, and the repo-is-clean gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.qa.findings import Finding, render_json, render_text
+from repro.qa.lint import lint_paths, main, parse_suppressions
+from repro.qa.rules import package_relpath
+
+REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def run_lint(tmp_path, source, name="fixture.py", select=None):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([str(path)], select=select)
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# SL001: wall clock
+# ---------------------------------------------------------------------------
+class TestWallClock:
+    def test_time_time_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert codes(findings) == ["SL001"]
+        assert "time.time" in findings[0].message
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            from time import perf_counter as tick
+
+            def stamp():
+                return tick()
+            """,
+        )
+        assert codes(findings) == ["SL001"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+        )
+        assert codes(findings) == ["SL001"]
+
+    def test_virtual_time_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            def stamp(sim):
+                return sim.now
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_path_exempt(self, tmp_path):
+        # Files under a repro/ tree but outside sim-affecting
+        # subpackages (e.g. the experiment harness) may wall-clock.
+        pkg = tmp_path / "repro" / "experiments"
+        pkg.mkdir(parents=True)
+        path = pkg / "harness.py"
+        path.write_text("import time\nwall = time.time()\n")
+        assert lint_paths([str(path)], select={"SL001"}) == []
+
+    def test_sim_scope_path_checked(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        path = pkg / "clock.py"
+        path.write_text("import time\nwall = time.time()\n")
+        assert codes(lint_paths([str(path)])) == ["SL001"]
+
+
+# ---------------------------------------------------------------------------
+# SL002: stdlib random
+# ---------------------------------------------------------------------------
+class TestStdlibRandom:
+    def test_import_random_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import random\n")
+        assert codes(findings) == ["SL002"]
+
+    def test_from_random_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "from random import choice\n")
+        assert codes(findings) == ["SL002"]
+
+    def test_rng_streams_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            from repro.sim.rng import Stream, seeded_stream
+
+            def draw(rng: Stream) -> float:
+                return rng.random()
+            """,
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SL003: undeclared event / metric names
+# ---------------------------------------------------------------------------
+class TestUndeclaredNames:
+    REGISTRY = textwrap.dedent(
+        """
+        KNOWN_EVENTS = ("node.rx.interest", "pit.timeout")
+        METRIC_NAMES = ("pit_entries",)
+        """
+    )
+
+    def test_undeclared_event_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + textwrap.dedent(
+                """
+                def fire(trace, now):
+                    trace.emit("node.rx.intrest", now)
+                """
+            ),
+        )
+        assert codes(findings) == ["SL003"]
+        assert "node.rx.intrest" in findings[0].message
+
+    def test_declared_event_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + textwrap.dedent(
+                """
+                def fire(trace, now):
+                    trace.emit("node.rx.interest", now)
+                    trace.wants("pit.timeout")
+                """
+            ),
+        )
+        assert findings == []
+
+    def test_undeclared_metric_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + textwrap.dedent(
+                """
+                def build(registry):
+                    return registry.gauge("pit_entrees", "typo'd family")
+                """
+            ),
+        )
+        assert codes(findings) == ["SL003"]
+
+    def test_silent_without_registries(self, tmp_path):
+        # A lone snippet with no registry in the scan must stay quiet:
+        # the rule cannot know the full declared set.
+        findings = run_lint(
+            tmp_path,
+            """
+            def fire(trace, now):
+                trace.emit("anything.goes", now)
+            """,
+        )
+        assert findings == []
+
+    def test_wildcard_subscription_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + textwrap.dedent(
+                """
+                def tap(trace, sink):
+                    trace.subscribe("*", sink)
+                """
+            ),
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SL004: mutable defaults
+# ---------------------------------------------------------------------------
+class TestMutableDefaults:
+    def test_list_literal_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "def f(acc=[]):\n    return acc\n")
+        assert codes(findings) == ["SL004"]
+
+    def test_dict_call_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "def f(*, acc=dict()):\n    return acc\n")
+        assert codes(findings) == ["SL004"]
+
+    def test_none_default_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            def f(acc=None):
+                return [] if acc is None else acc
+            """,
+        )
+        assert findings == []
+
+    def test_immutable_defaults_clean(self, tmp_path):
+        findings = run_lint(tmp_path, "def f(a=0, b=(), c='x'):\n    return a\n")
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SL005: schedule() misuse
+# ---------------------------------------------------------------------------
+class TestScheduleMisuse:
+    def test_negative_delay_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "def f(sim, cb):\n    sim.schedule(-1.0, cb)\n")
+        assert codes(findings) == ["SL005"]
+
+    def test_invoked_callback_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "def f(sim, cb):\n    sim.schedule(1.0, cb())\n")
+        assert codes(findings) == ["SL005"]
+        assert "invoked at schedule time" in findings[0].message
+
+    def test_partial_factory_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            from functools import partial
+
+            def f(sim, cb):
+                sim.schedule(1.0, partial(cb, 42))
+            """,
+        )
+        assert findings == []
+
+    def test_plain_callable_clean(self, tmp_path):
+        findings = run_lint(tmp_path, "def f(sim, cb):\n    sim.schedule(0.5, cb, 1)\n")
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+class TestSuppression:
+    def test_targeted_suppression(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "import random  # deliberate  # simlint: disable=SL002\n"
+        )
+        assert findings == []
+
+    def test_blanket_suppression(self, tmp_path):
+        findings = run_lint(tmp_path, "import random  # simlint: disable\n")
+        assert findings == []
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        findings = run_lint(tmp_path, "import random  # simlint: disable=SL001\n")
+        assert codes(findings) == ["SL002"]
+
+    def test_suppression_is_per_line(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            import random  # simlint: disable=SL002
+            from random import choice
+            """,
+        )
+        assert codes(findings) == ["SL002"]
+
+    def test_parse_multiple_codes(self):
+        sup = parse_suppressions("x = 1  # simlint: disable=SL001, SL004\n")
+        assert sup == {1: frozenset({"SL001", "SL004"})}
+
+
+# ---------------------------------------------------------------------------
+# Reporters / loader / CLI
+# ---------------------------------------------------------------------------
+class TestReporting:
+    def test_syntax_error_becomes_sl000(self, tmp_path):
+        findings = run_lint(tmp_path, "def broken(:\n")
+        assert codes(findings) == ["SL000"]
+
+    def test_text_reporter_format(self):
+        finding = Finding(path="a.py", line=3, col=5, rule="SL001", message="boom")
+        assert render_text([finding]) == "a.py:3:5: SL001 boom"
+
+    def test_json_reporter_roundtrip(self):
+        finding = Finding(path="a.py", line=3, col=5, rule="SL001", message="boom")
+        [parsed] = json.loads(render_json([finding]))
+        assert parsed == {
+            "path": "a.py", "line": 3, "col": 5, "rule": "SL001", "message": "boom",
+        }
+
+    def test_select_restricts_rules(self, tmp_path):
+        source = "import random\ndef f(acc=[]):\n    return acc\n"
+        assert codes(run_lint(tmp_path, source)) == ["SL002", "SL004"]
+        assert codes(run_lint(tmp_path, source, select={"SL004"})) == ["SL004"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        assert main([str(dirty), "--select", "SL999"]) == 2
+        assert main([]) == 2
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SL005" in out
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main([str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "SL002"
+
+
+class TestPackageRelpath:
+    def test_repro_anchored(self):
+        assert package_relpath("src/repro/ndn/node.py") == "ndn/node.py"
+
+    def test_innermost_repro_wins(self):
+        assert package_relpath("repro/vendor/repro/sim/x.py") == "sim/x.py"
+
+    def test_bare_file(self):
+        assert package_relpath("/tmp/fixture.py") == "fixture.py"
+
+
+# ---------------------------------------------------------------------------
+# The gate the CI job enforces
+# ---------------------------------------------------------------------------
+def test_repo_is_simlint_clean():
+    findings = lint_paths([str(REPO_SRC)])
+    assert findings == [], render_text(findings)
