@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test qa lint sanitize determinism bench
+.PHONY: test qa lint sanitize determinism bench perf
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,3 +29,11 @@ determinism:
 
 bench:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks -q -s
+
+# The repro.exec engine benchmarks only: fan-out speedup + cache
+# round-trip (writes benchmarks/results/BENCH_parallel.json) and the
+# Bloom hot-path micro-benchmarks.  docs/PERFORMANCE.md explains how
+# to read the output.
+perf:
+	PYTHONPATH=src:. $(PYTHON) -m pytest \
+		benchmarks/test_parallel_speedup.py benchmarks/test_bloom_micro.py -q -s

@@ -1,0 +1,133 @@
+"""Bench: Bloom-filter hot-path micro-optimizations.
+
+Three operations dominate router CPU time in long runs: ``contains``
+(every Interest), ``reset`` (every saturation), and ``fill_ratio``
+(every sanitizer/sampler probe).  This module pins their optimized
+implementations against straightforward reference versions —
+list-allocating double hashing, per-byte zeroing, per-byte popcount —
+and publishes the measured ratios.  Equivalence is asserted;
+the timing ratios are published, not asserted, because shared CI
+runners jitter too much for tight thresholds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+from benchmarks.conftest import publish
+from repro.experiments.report import render_table
+from repro.filters.bloom import BloomFilter, _popcount
+
+
+def _filled_filter():
+    bloom = BloomFilter(capacity=500, max_fpp=1e-4)
+    for i in range(400):
+        bloom.insert(f"tag-{i}".encode())
+    return bloom
+
+
+# --------------------------------------------------------------------------
+# Reference (pre-optimization) implementations
+# --------------------------------------------------------------------------
+def _naive_contains(bloom, item):
+    digest = hashlib.blake2b(item, digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:], "big") | 1
+    indices = [(h1 + i * h2) % bloom.size_bits for i in range(bloom.num_hashes)]
+    for idx in indices:
+        if not (bloom._bits[idx >> 3] >> (idx & 7)) & 1:
+            return False
+    return True
+
+
+def _naive_reset_bits(bits):
+    for i in range(len(bits)):
+        bits[i] = 0
+
+
+def _naive_fill_ratio(bloom):
+    return sum(bin(b).count("1") for b in bloom._bits) / bloom.size_bits
+
+
+def _time(fn, iterations):
+    began = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - began) / iterations
+
+
+# --------------------------------------------------------------------------
+# Equivalence: the optimizations must not change a single answer
+# --------------------------------------------------------------------------
+def test_optimized_paths_match_reference():
+    bloom = _filled_filter()
+    probes = [f"tag-{i}".encode() for i in range(0, 800, 7)]
+    assert [bloom.contains(p) for p in probes] == [
+        _naive_contains(bloom, p) for p in probes
+    ]
+    assert bloom.fill_ratio() == _naive_fill_ratio(bloom)
+    assert _popcount(0) == 0 and _popcount((1 << 977) | 7) == 4
+
+    reference = bytearray(bloom._bits)
+    _naive_reset_bits(reference)
+    bloom.reset()
+    assert bloom._bits == reference
+    assert bloom.count == 0 and bloom.fill_ratio() == 0.0
+
+
+# --------------------------------------------------------------------------
+# Micro-benchmarks (pytest-benchmark harness)
+# --------------------------------------------------------------------------
+def test_contains_micro(benchmark):
+    bloom = _filled_filter()
+    probes = [f"tag-{i}".encode() for i in range(800)]
+    index = iter(range(10**9))
+    benchmark(lambda: bloom.contains(probes[next(index) % 800]))
+
+
+def test_fill_ratio_micro(benchmark):
+    bloom = _filled_filter()
+    benchmark(bloom.fill_ratio)
+
+
+def test_reset_micro(benchmark):
+    bloom = _filled_filter()
+    benchmark(bloom.reset)
+
+
+def test_publish_speedup_table():
+    bloom = _filled_filter()
+    probes = [f"tag-{i}".encode() for i in range(800)]
+    index = iter(range(10**9))
+
+    rows = []
+    for name, fast, slow, iterations in (
+        (
+            "contains",
+            lambda: bloom.contains(probes[next(index) % 800]),
+            lambda: _naive_contains(bloom, probes[next(index) % 800]),
+            20000,
+        ),
+        ("fill_ratio", bloom.fill_ratio, lambda: _naive_fill_ratio(bloom), 2000),
+        (
+            "reset",
+            bloom.reset,
+            lambda: _naive_reset_bits(bloom._bits),
+            2000,
+        ),
+    ):
+        fast_s = _time(fast, iterations)
+        slow_s = _time(slow, iterations)
+        rows.append(
+            [name, f"{slow_s * 1e6:.2f}", f"{fast_s * 1e6:.2f}",
+             f"{slow_s / fast_s:.2f}x"]
+        )
+    publish(
+        "bloom_micro",
+        render_table(
+            ["operation", "reference (us)", "optimized (us)", "speedup"],
+            rows,
+            title="Bloom filter hot-path micro-optimizations",
+        ),
+    )

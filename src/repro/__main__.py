@@ -27,6 +27,15 @@ from repro.experiments.table4_delivery import render_table4, reproduce_table4
 from repro.experiments.table5_bf_resets import render_table5, reproduce_table5
 
 
+def _exec_kwargs(args) -> Dict:
+    """The repro.exec engine knobs every reproduction accepts."""
+    return dict(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
 def _run_fig5(args) -> str:
     return render_fig5(
         reproduce_fig5(
@@ -34,6 +43,7 @@ def _run_fig5(args) -> str:
             duration=args.duration,
             seed=args.seed,
             scale=args.scale,
+            **_exec_kwargs(args),
         )
     )
 
@@ -45,6 +55,7 @@ def _run_fig6(args) -> str:
             duration=args.duration,
             seed=args.seed,
             scale=args.scale,
+            **_exec_kwargs(args),
         )
     )
 
@@ -56,6 +67,7 @@ def _run_fig7(args) -> str:
             duration=args.duration,
             seed=args.seed,
             scale=args.scale,
+            **_exec_kwargs(args),
         )
     )
 
@@ -67,6 +79,7 @@ def _run_fig8(args) -> str:
             duration=args.duration,
             seed=args.seed,
             scale=args.scale,
+            **_exec_kwargs(args),
         )
     )
 
@@ -78,6 +91,7 @@ def _run_table2(args) -> str:
             duration=args.duration,
             seed=args.seed,
             scale=args.scale,
+            **_exec_kwargs(args),
         )
     )
 
@@ -89,6 +103,7 @@ def _run_table4(args) -> str:
             duration=args.duration,
             seed=args.seed,
             scale=args.scale,
+            **_exec_kwargs(args),
         )
     )
 
@@ -100,6 +115,7 @@ def _run_table5(args) -> str:
             duration=args.duration,
             seed=args.seed,
             scale=args.scale,
+            **_exec_kwargs(args),
         )
     )
 
@@ -139,6 +155,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="entity-count scale factor (paper: 1.0)",
     )
     parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    execution = parser.add_argument_group(
+        "execution", "parallel fan-out and run caching (see "
+        "docs/PERFORMANCE.md)"
+    )
+    execution.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for scenario fan-out (default: REPRO_JOBS "
+        "or 1 = serial in-process)",
+    )
+    execution.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed run cache directory (default: "
+        "REPRO_CACHE_DIR or caching off)",
+    )
+    execution.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the run cache entirely, even if --cache-dir or "
+        "REPRO_CACHE_DIR is set",
+    )
     parser.add_argument(
         "--sanitize", action="store_true",
         help="arm the SimSan runtime invariant checks on every run "

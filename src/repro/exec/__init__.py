@@ -1,0 +1,36 @@
+"""repro.exec — the parallel experiment engine.
+
+Separates every experiment driver into *enumerate* (build picklable
+:class:`ScenarioSpec` lists) and *reduce* (fold the returned
+:class:`RunSummary` list into figure/table rows), with the engine in
+between handling multiprocess fan-out (``--jobs`` / ``REPRO_JOBS``)
+and the content-addressed run cache (``--cache-dir`` /
+``REPRO_CACHE_DIR``).  See docs/PERFORMANCE.md.
+"""
+
+from repro.exec.cache import CACHE_FORMAT, RunCache, cache_key, code_fingerprint
+from repro.exec.engine import (
+    ExecStats,
+    ExperimentEngine,
+    default_registry,
+    resolve_jobs,
+    run_specs,
+)
+from repro.exec.spec import ScenarioSpec, canonical_value
+from repro.exec.summary import RunSummary, summarize
+
+__all__ = [
+    "CACHE_FORMAT",
+    "ExecStats",
+    "ExperimentEngine",
+    "RunCache",
+    "RunSummary",
+    "ScenarioSpec",
+    "cache_key",
+    "canonical_value",
+    "code_fingerprint",
+    "default_registry",
+    "resolve_jobs",
+    "run_specs",
+    "summarize",
+]

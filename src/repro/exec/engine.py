@@ -1,0 +1,230 @@
+"""The parallel experiment engine.
+
+Every experiment driver follows the same shape now: **enumerate** the
+scenario points as picklable :class:`~repro.exec.spec.ScenarioSpec`
+objects, hand the list to :func:`run_specs`, and **reduce** the
+returned :class:`~repro.exec.summary.RunSummary` list into figure/table
+rows.  The engine owns everything in between:
+
+- **Cache probe** — each spec is content-addressed (see
+  :mod:`repro.exec.cache`); hits are returned without executing.
+- **Fan-out** — cache misses run on a spawn-context
+  ``multiprocessing`` pool when ``jobs > 1``; each worker rebuilds its
+  scenario from the spec and returns a compact summary, never a live
+  ``RunResult``.  Spawn (not fork) keeps workers free of inherited
+  interpreter state, so a worker run is bit-identical to an in-process
+  run of the same seed.
+- **Telemetry** — per-run wall clock, run counts by execution mode, and
+  cache hit/miss counters land in a
+  :class:`~repro.obs.metrics.MetricsRegistry` (the module-default one,
+  or any registry passed in).
+
+Job-count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then 1 (serial).  Serial runs
+execute in-process, so process-default telemetry
+(:func:`repro.obs.session.set_default_telemetry`) still attaches;
+parallel workers run untelemetered.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import RunCache, cache_key
+from repro.exec.spec import ScenarioSpec
+from repro.exec.summary import RunSummary, summarize
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ExecStats", "ExperimentEngine", "resolve_jobs", "run_specs"]
+
+#: Environment knobs (documented in docs/PERFORMANCE.md).
+JOBS_ENV = "REPRO_JOBS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Histogram buckets for per-run wall clock (seconds); runs range from
+#: sub-second CI points to minutes-long paper-scale sweeps.
+WALL_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+_default_registry: Optional[MetricsRegistry] = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry engine instances record into."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = MetricsRegistry()
+    return _default_registry
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit argument > ``REPRO_JOBS`` env > 1 (serial)."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 1
+
+
+def _execute_spec(spec: ScenarioSpec) -> RunSummary:
+    """Run one spec end to end (the worker entry point).
+
+    Top-level so it pickles under the spawn start method.  Imports stay
+    inside the function: a freshly spawned interpreter only pays for
+    the simulator once it actually runs something.
+    """
+    from repro.experiments.runner import run_scenario
+
+    began = time.perf_counter()
+    scenario = spec.build()
+    sanitizer = None
+    if spec.hash_events:
+        from repro.qa.simsan import SimSan
+
+        sanitizer = SimSan(mode="collect", hash_events=True)
+    result = run_scenario(scenario, sanitizer=sanitizer)
+    digest = sanitizer.stream_digest() if sanitizer is not None else None
+    summary = summarize(
+        result, latency_bucket=spec.latency_bucket, event_digest=digest
+    )
+    summary.wall_seconds = time.perf_counter() - began
+    summary.worker_pid = os.getpid()
+    return summary
+
+
+@dataclass
+class ExecStats:
+    """Plain counters mirroring the engine's registry metrics."""
+
+    serial_runs: int = 0
+    parallel_runs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    worker_wall_total: float = 0.0
+    per_run_wall: List[float] = field(default_factory=list)
+
+
+class ExperimentEngine:
+    """Submit/reduce executor for scenario specs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (``None`` = ``REPRO_JOBS`` env, else 1).
+    cache_dir:
+        Run-cache directory (``None`` = ``REPRO_CACHE_DIR`` env, else
+        no cache).
+    use_cache:
+        ``False`` disables the cache even when a directory is known
+        (the CLI's ``--no-cache``).
+    registry:
+        Metrics registry to record into (``None`` = the module default).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Any] = None,
+        use_cache: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        directory = cache_dir
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV, "").strip() or None
+        self.cache: Optional[RunCache] = (
+            RunCache(directory) if (use_cache and directory is not None) else None
+        )
+        self.registry = registry if registry is not None else default_registry()
+        self.stats = ExecStats()
+        self._runs_total = self.registry.counter(
+            "exec_runs_total",
+            "Scenario runs executed by the experiment engine, by mode.",
+            labelnames=("mode",),
+        )
+        self._cache_events = self.registry.counter(
+            "exec_cache_events_total",
+            "Run-cache probes by result.",
+            labelnames=("result",),
+        )
+        self._worker_wall = self.registry.histogram(
+            "exec_worker_wall_seconds",
+            "Per-run wall-clock seconds, by execution mode.",
+            labelnames=("mode",),
+            buckets=WALL_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_specs(self, specs: Iterable[ScenarioSpec]) -> List[RunSummary]:
+        """Execute every spec and return summaries in submission order."""
+        ordered = list(specs)
+        results: List[Optional[RunSummary]] = [None] * len(ordered)
+        pending: List[Tuple[int, ScenarioSpec, Optional[str]]] = []
+
+        for index, spec in enumerate(ordered):
+            key: Optional[str] = None
+            if self.cache is not None:
+                key = cache_key(spec)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    hit.cached = True
+                    results[index] = hit
+                    self.stats.cache_hits += 1
+                    self._cache_events.labels(result="hit").inc()
+                    continue
+                self.stats.cache_misses += 1
+                self._cache_events.labels(result="miss").inc()
+            pending.append((index, spec, key))
+
+        if pending:
+            workers = min(self.jobs, len(pending))
+            if workers > 1:
+                mode = "parallel"
+                context = multiprocessing.get_context("spawn")
+                with context.Pool(processes=workers) as pool:
+                    summaries = pool.map(
+                        _execute_spec, [spec for _, spec, _ in pending], chunksize=1
+                    )
+            else:
+                mode = "serial"
+                summaries = [_execute_spec(spec) for _, spec, _ in pending]
+            for (index, _, key), summary in zip(pending, summaries):
+                results[index] = summary
+                self._note_run(mode, summary)
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, summary)
+
+        return [summary for summary in results if summary is not None]
+
+    def _note_run(self, mode: str, summary: RunSummary) -> None:
+        if mode == "parallel":
+            self.stats.parallel_runs += 1
+        else:
+            self.stats.serial_runs += 1
+        self.stats.worker_wall_total += summary.wall_seconds
+        self.stats.per_run_wall.append(summary.wall_seconds)
+        self._runs_total.labels(mode=mode).inc()
+        self._worker_wall.labels(mode=mode).observe(summary.wall_seconds)
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Any] = None,
+    use_cache: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[RunSummary]:
+    """One-shot convenience over :class:`ExperimentEngine`."""
+    engine = ExperimentEngine(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, registry=registry
+    )
+    return engine.run_specs(specs)

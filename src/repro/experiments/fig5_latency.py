@@ -14,11 +14,10 @@ sparklines for a quick shape check against the paper's panels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.exec import ScenarioSpec, run_specs
 from repro.experiments.report import render_table, sparkline
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
 
 #: The paper's three Bloom-filter sizes.
 PAPER_BF_SIZES = (500, 2500, 10000)
@@ -39,6 +38,34 @@ class Fig5Point:
         return f"topo{self.topology}/bf{self.bf_capacity}"
 
 
+def enumerate_fig5(
+    topologies: Sequence[int] = (1,),
+    bf_sizes: Sequence[int] = PAPER_BF_SIZES,
+    duration: float = 30.0,
+    seed: int = 1,
+    scale: float = 0.3,
+    tag_expiry: float = 10.0,
+    literal_costs: bool = True,
+) -> List[ScenarioSpec]:
+    """The (topology, BF size) grid as picklable scenario specs."""
+    from repro.crypto.cost_model import PAPER_COST_MODEL, PAPER_LITERAL_COST_MODEL
+
+    cost_model = PAPER_LITERAL_COST_MODEL if literal_costs else PAPER_COST_MODEL
+    return [
+        ScenarioSpec.make(
+            topology=topology,
+            duration=duration,
+            seed=seed,
+            scale=scale,
+            overrides=dict(
+                bf_capacity=bf_capacity, tag_expiry=tag_expiry, cost_model=cost_model
+            ),
+        )
+        for topology in topologies
+        for bf_capacity in bf_sizes
+    ]
+
+
 def reproduce_fig5(
     topologies: Sequence[int] = (1,),
     bf_sizes: Sequence[int] = PAPER_BF_SIZES,
@@ -47,6 +74,9 @@ def reproduce_fig5(
     scale: float = 0.3,
     tag_expiry: float = 10.0,
     literal_costs: bool = True,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> List[Fig5Point]:
     """Regenerate Fig. 5's series (defaults are CI-scale; pass
     ``topologies=(1,2,3,4), duration=2000, scale=1.0`` for paper scale).
@@ -56,29 +86,24 @@ def reproduce_fig5(
     re-validation bursts after Bloom-filter resets carry ~ms costs and
     the latency separation between filter sizes — Fig. 5's entire
     point — emerges.  Set it False for the conservative model.
+    ``jobs`` / ``cache_dir`` / ``use_cache`` go to the
+    :mod:`repro.exec` engine.
     """
-    from repro.crypto.cost_model import PAPER_COST_MODEL, PAPER_LITERAL_COST_MODEL
-
-    cost_model = PAPER_LITERAL_COST_MODEL if literal_costs else PAPER_COST_MODEL
+    specs = enumerate_fig5(
+        topologies, bf_sizes, duration, seed, scale, tag_expiry, literal_costs
+    )
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     points: List[Fig5Point] = []
-    for topology in topologies:
-        for bf_capacity in bf_sizes:
-            scenario = Scenario.paper_topology(
-                topology, duration=duration, seed=seed, scale=scale
-            ).with_config(
-                bf_capacity=bf_capacity, tag_expiry=tag_expiry, cost_model=cost_model
+    for spec, summary in zip(specs, summaries):
+        points.append(
+            Fig5Point(
+                topology=spec.topology,
+                bf_capacity=dict(spec.overrides)["bf_capacity"],
+                series=summary.latency_series(bucket=1.0),
+                mean_latency=summary.mean_latency() or 0.0,
+                bf_resets_edge=summary.total_bf_resets(edge=True),
             )
-            result = run_scenario(scenario)
-            series = result.latency_series(bucket=1.0)
-            points.append(
-                Fig5Point(
-                    topology=topology,
-                    bf_capacity=bf_capacity,
-                    series=series,
-                    mean_latency=result.mean_latency() or 0.0,
-                    bf_resets_edge=result.total_bf_resets(edge=True),
-                )
-            )
+        )
     return points
 
 

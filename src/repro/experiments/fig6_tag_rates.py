@@ -11,11 +11,10 @@ initial registration burst, which shorter reproductions also see).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.exec import ScenarioSpec, run_specs
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
 
 
 @dataclass
@@ -27,32 +26,53 @@ class Fig6Point:
     num_clients: int
 
 
+def enumerate_fig6(
+    topologies: Sequence[int] = (1,),
+    tag_expiries: Sequence[float] = (10.0, 100.0),
+    duration: float = 30.0,
+    seed: int = 1,
+    scale: float = 0.3,
+) -> List[ScenarioSpec]:
+    """The (topology, tag expiry) grid as picklable scenario specs."""
+    return [
+        ScenarioSpec.make(
+            topology=topology,
+            duration=duration,
+            seed=seed,
+            scale=scale,
+            overrides=dict(tag_expiry=expiry),
+        )
+        for topology in topologies
+        for expiry in tag_expiries
+    ]
+
+
 def reproduce_fig6(
     topologies: Sequence[int] = (1,),
     tag_expiries: Sequence[float] = (10.0, 100.0),
     duration: float = 30.0,
     seed: int = 1,
     scale: float = 0.3,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> List[Fig6Point]:
     """Regenerate Fig. 6's bars (main panel: sweep topologies at
     TE=10 s; inset: sweep tag expiry on one topology)."""
+    specs = enumerate_fig6(topologies, tag_expiries, duration, seed, scale)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     points: List[Fig6Point] = []
-    for topology in topologies:
-        for expiry in tag_expiries:
-            scenario = Scenario.paper_topology(
-                topology, duration=duration, seed=seed, scale=scale
-            ).with_config(tag_expiry=expiry)
-            result = run_scenario(scenario)
-            request_rate, receive_rate = result.tag_rates()
-            points.append(
-                Fig6Point(
-                    topology=topology,
-                    tag_expiry=expiry,
-                    request_rate=request_rate,
-                    receive_rate=receive_rate,
-                    num_clients=len(result.clients),
-                )
+    for spec, summary in zip(specs, summaries):
+        request_rate, receive_rate = summary.tag_rates()
+        points.append(
+            Fig6Point(
+                topology=spec.topology,
+                tag_expiry=dict(spec.overrides)["tag_expiry"],
+                request_rate=request_rate,
+                receive_rate=receive_rate,
+                num_clients=summary.num_clients,
             )
+        )
     return points
 
 

@@ -16,11 +16,10 @@ topologies):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.exec import ScenarioSpec, run_specs
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
 
 
 @dataclass
@@ -34,24 +33,38 @@ class Fig7Row:
     core_verifications: int
 
 
+def enumerate_fig7(
+    topologies: Sequence[int] = (1,),
+    duration: float = 30.0,
+    seed: int = 1,
+    scale: float = 0.3,
+) -> List[ScenarioSpec]:
+    """One spec per requested topology."""
+    return [
+        ScenarioSpec.make(topology=topology, duration=duration, seed=seed, scale=scale)
+        for topology in topologies
+    ]
+
+
 def reproduce_fig7(
     topologies: Sequence[int] = (1,),
     duration: float = 30.0,
     seed: int = 1,
     scale: float = 0.3,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> List[Fig7Row]:
     """Regenerate Fig. 7's bars for the requested topologies."""
+    specs = enumerate_fig7(topologies, duration, seed, scale)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     rows: List[Fig7Row] = []
-    for topology in topologies:
-        scenario = Scenario.paper_topology(
-            topology, duration=duration, seed=seed, scale=scale
-        )
-        result = run_scenario(scenario)
-        edge = result.operation_counts(edge=True)
-        core = result.operation_counts(edge=False)
+    for spec, summary in zip(specs, summaries):
+        edge = summary.operation_counts(edge=True)
+        core = summary.operation_counts(edge=False)
         rows.append(
             Fig7Row(
-                topology=topology,
+                topology=spec.topology,
                 edge_lookups=edge.bf_lookups,
                 edge_inserts=edge.bf_inserts,
                 edge_verifications=edge.signature_verifications,

@@ -16,9 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.exec import ScenarioSpec, run_specs
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
 
 
 @dataclass
@@ -31,6 +30,31 @@ class Fig8Point:
     core_resets: int
 
 
+def enumerate_fig8(
+    topology: int = 1,
+    tag_expiries: Sequence[float] = (10.0, 100.0),
+    fpps: Sequence[float] = (1e-4, 1e-2),
+    duration: float = 60.0,
+    seed: int = 1,
+    scale: float = 0.3,
+    bf_capacity: int = 12,
+) -> List[ScenarioSpec]:
+    """The (tag expiry, FPP) grid as picklable scenario specs."""
+    return [
+        ScenarioSpec.make(
+            topology=topology,
+            duration=duration,
+            seed=seed,
+            scale=scale,
+            overrides=dict(
+                tag_expiry=expiry, bf_max_fpp=fpp, bf_capacity=bf_capacity
+            ),
+        )
+        for expiry in tag_expiries
+        for fpp in fpps
+    ]
+
+
 def reproduce_fig8(
     topology: int = 1,
     tag_expiries: Sequence[float] = (10.0, 100.0),
@@ -39,6 +63,9 @@ def reproduce_fig8(
     seed: int = 1,
     scale: float = 0.3,
     bf_capacity: int = 12,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> List[Fig8Point]:
     """Regenerate Fig. 8's bars.
 
@@ -48,25 +75,23 @@ def reproduce_fig8(
     ``bf_capacity=500, duration=2000, scale=1.0, tag_expiries=(10, 100,
     1000)``.  The FPP trend is capacity-independent.
     """
+    specs = enumerate_fig8(
+        topology, tag_expiries, fpps, duration, seed, scale, bf_capacity
+    )
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     points: List[Fig8Point] = []
-    for expiry in tag_expiries:
-        for fpp in fpps:
-            scenario = Scenario.paper_topology(
-                topology, duration=duration, seed=seed, scale=scale
-            ).with_config(
-                tag_expiry=expiry, bf_max_fpp=fpp, bf_capacity=bf_capacity
+    for spec, summary in zip(specs, summaries):
+        overrides = dict(spec.overrides)
+        points.append(
+            Fig8Point(
+                tag_expiry=overrides["tag_expiry"],
+                max_fpp=overrides["bf_max_fpp"],
+                edge_requests_per_reset=summary.reset_threshold(edge=True),
+                core_requests_per_reset=summary.reset_threshold(edge=False),
+                edge_resets=summary.total_bf_resets(edge=True),
+                core_resets=summary.total_bf_resets(edge=False),
             )
-            result = run_scenario(scenario)
-            points.append(
-                Fig8Point(
-                    tag_expiry=expiry,
-                    max_fpp=fpp,
-                    edge_requests_per_reset=result.reset_threshold(edge=True),
-                    core_requests_per_reset=result.reset_threshold(edge=False),
-                    edge_resets=result.total_bf_resets(edge=True),
-                    core_resets=result.total_bf_resets(edge=False),
-                )
-            )
+        )
     return points
 
 

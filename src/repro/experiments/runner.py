@@ -125,6 +125,17 @@ class RunResult:
     def network_drops(self) -> int:
         return self.network.total_drops()
 
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def to_summary(self, latency_bucket: float = 1.0):
+        """Extract the compact, picklable
+        :class:`~repro.exec.summary.RunSummary` carrying every quantity
+        the figures and tables read (drops the live simulation)."""
+        from repro.exec.summary import summarize
+
+        return summarize(self, latency_bucket=latency_bucket)
+
 
 @dataclass
 class _Assembly:

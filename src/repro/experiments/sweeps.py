@@ -21,12 +21,14 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.experiments.runner import RunResult, run_scenario
-from repro.experiments.scenario import Scenario
+from repro.exec import ScenarioSpec, run_specs
 
-MetricFn = Callable[[RunResult], float]
+#: Metric extractors receive a :class:`~repro.exec.summary.RunSummary`,
+#: whose accessors mirror ``RunResult`` — extractors written against
+#: either API work unchanged.
+MetricFn = Callable[[Any], float]
 
 #: Two-sided 95% Student-t critical values by degrees of freedom.
 _T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
@@ -127,26 +129,56 @@ class SweepPoint:
         return ", ".join(f"{k}={v}" for k, v in sorted(self.overrides.items()))
 
 
-def run_sweep(spec: SweepSpec) -> List[SweepPoint]:
-    """Execute the full sweep: every grid point x every seed."""
+def enumerate_sweep(spec: SweepSpec, hash_events: bool = False) -> List[ScenarioSpec]:
+    """Flatten the sweep into (grid point x seed) scenario specs, in
+    the same order ``run_sweep`` consumes them."""
     base = dict(spec.base)
     topology = base.pop("topology", 1)
     duration = base.pop("duration", 10.0)
     scale = base.pop("scale", 0.2)
     scheme = base.pop("scheme", "tactic")
+    return [
+        ScenarioSpec.make(
+            topology=topology,
+            duration=duration,
+            seed=seed,
+            scale=scale,
+            scheme=scheme,
+            overrides={**base, **overrides},
+            hash_events=hash_events,
+        )
+        for overrides in spec.points()
+        for seed in spec.seeds
+    ]
 
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    hash_events: bool = False,
+) -> List[SweepPoint]:
+    """Execute the full sweep: every grid point x every seed.
+
+    Runs go through the :mod:`repro.exec` engine — ``jobs`` fans the
+    (point x seed) grid over worker processes, ``cache_dir`` reuses
+    prior results.  Metric extractors are applied in the parent process
+    to the returned summaries, so they never cross a process boundary.
+    """
+    scenario_specs = enumerate_sweep(spec, hash_events=hash_events)
+    summaries = run_specs(
+        scenario_specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+    )
+    per_point = len(spec.seeds)
     results: List[SweepPoint] = []
-    for overrides in spec.points():
+    for index, overrides in enumerate(spec.points()):
         point = SweepPoint(overrides=overrides)
         for metric in spec.metrics:
             point.samples[metric] = []
-        for seed in spec.seeds:
-            scenario = Scenario.paper_topology(
-                topology, duration=duration, seed=seed, scale=scale, scheme=scheme
-            ).with_config(**base, **overrides)
-            run = run_scenario(scenario)
+        for summary in summaries[index * per_point : (index + 1) * per_point]:
             for metric, fn in spec.metrics.items():
-                point.samples[metric].append(fn(run))
+                point.samples[metric].append(fn(summary))
         results.append(point)
     return results
 

@@ -15,11 +15,10 @@ access-control enforcement point).  We reproduce it two ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.exec import ScenarioSpec, run_specs
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
 
 #: The paper's qualitative rows (subset: the mechanism classes we model).
 PAPER_FEATURE_MATRIX = [
@@ -50,6 +49,28 @@ class SchemeMeasurement:
     mean_latency: float
 
 
+def enumerate_table2(
+    topology: int = 1,
+    duration: float = 20.0,
+    seed: int = 1,
+    scale: float = 0.3,
+    schemes: Sequence[str] = (
+        "tactic", "no_bloom", "provider_auth", "client_side", "accconf"
+    ),
+) -> List[ScenarioSpec]:
+    """One spec per scheme, all on the identical topology/workload."""
+    return [
+        ScenarioSpec.make(
+            topology=topology,
+            duration=duration,
+            seed=seed,
+            scale=scale,
+            scheme=scheme,
+        )
+        for scheme in schemes
+    ]
+
+
 def reproduce_table2(
     topology: int = 1,
     duration: float = 20.0,
@@ -58,34 +79,33 @@ def reproduce_table2(
     schemes: Sequence[str] = (
         "tactic", "no_bloom", "provider_auth", "client_side", "accconf"
     ),
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> List[SchemeMeasurement]:
     """Run every scheme on the identical scenario and measure the
     quantitative shadows of Table II's qualitative cells."""
+    specs = enumerate_table2(topology, duration, seed, scale, schemes)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     measurements: List[SchemeMeasurement] = []
-    for scheme in schemes:
-        scenario = Scenario.paper_topology(
-            topology, duration=duration, seed=seed, scale=scale, scheme=scheme
-        )
-        result = run_scenario(scenario)
-        chunk_bytes = result.config.chunk_size_bytes
-        attacker_received = result.metrics.total_received(attackers=True)
-        delivered = result.metrics.total_received(attackers=False) or 1
+    for spec, summary in zip(specs, summaries):
+        attacker_received = summary.total_received(attackers=True)
+        delivered = summary.total_received(attackers=False) or 1
         router_verifs = (
-            result.operation_counts(edge=True).signature_verifications
-            + result.operation_counts(edge=False).signature_verifications
+            summary.operation_counts(edge=True).signature_verifications
+            + summary.operation_counts(edge=False).signature_verifications
         )
-        origin_served = sum(p.stats.chunks_served for p in result.providers)
         measurements.append(
             SchemeMeasurement(
-                scheme=scheme,
-                client_ratio=result.client_delivery_ratio(),
-                client_usable_ratio=result.metrics.usable_ratio(attackers=False),
-                attacker_ratio=result.attacker_delivery_ratio(),
-                attacker_bytes_wasted=attacker_received * chunk_bytes,
-                origin_chunks_served=origin_served,
+                scheme=spec.scheme,
+                client_ratio=summary.client_delivery_ratio(),
+                client_usable_ratio=summary.usable_ratio(attackers=False),
+                attacker_ratio=summary.attacker_delivery_ratio(),
+                attacker_bytes_wasted=attacker_received * summary.chunk_size_bytes,
+                origin_chunks_served=summary.origin_chunks_served,
                 router_verifications=router_verifs,
                 router_verifications_per_kchunk=router_verifs / delivered * 1000.0,
-                mean_latency=result.mean_latency() or 0.0,
+                mean_latency=summary.mean_latency() or 0.0,
             )
         )
     return measurements

@@ -18,11 +18,10 @@ attacker success attributable to a false positive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.exec import ScenarioSpec, run_specs
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
 
 #: The paper's Table IV cells, for EXPERIMENTS.md comparison.
 PAPER_TABLE4 = {
@@ -44,21 +43,36 @@ class Table4Row:
     attacker_ratio: float
 
 
+def enumerate_table4(
+    topologies: Sequence[int] = (1,),
+    duration: float = 30.0,
+    seed: int = 1,
+    scale: float = 0.3,
+) -> List[ScenarioSpec]:
+    """One spec per requested topology."""
+    return [
+        ScenarioSpec.make(topology=topology, duration=duration, seed=seed, scale=scale)
+        for topology in topologies
+    ]
+
+
 def reproduce_table4(
     topologies: Sequence[int] = (1,),
     duration: float = 30.0,
     seed: int = 1,
     scale: float = 0.3,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> List[Table4Row]:
     """Regenerate Table IV rows (CI-scale defaults; paper scale is
     ``topologies=(1,2,3,4), duration=2000, scale=1.0``)."""
+    specs = enumerate_table4(topologies, duration, seed, scale)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     rows: List[Table4Row] = []
-    for topology in topologies:
-        scenario = Scenario.paper_topology(
-            topology, duration=duration, seed=seed, scale=scale
-        )
-        result = run_scenario(scenario)
-        cells: Dict[str, float] = result.delivery_table_row()
+    for spec, summary in zip(specs, summaries):
+        topology = spec.topology
+        cells: Dict[str, float] = summary.delivery_table_row()
         rows.append(
             Table4Row(
                 topology=topology,

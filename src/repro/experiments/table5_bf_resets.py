@@ -19,11 +19,10 @@ filter 10x removes >90% of resets, dwarfing what the FPP lever buys.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.exec import ScenarioSpec, run_specs
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
 
 #: Paper cells for EXPERIMENTS.md comparison.
 PAPER_TABLE5 = {
@@ -55,6 +54,32 @@ class Table5Row:
         return 1.0 - self.core_resets_large / self.core_resets_small
 
 
+def enumerate_table5(
+    topology: int = 1,
+    fpps: Sequence[float] = (1e-4, 1e-2),
+    small_capacity: int = 12,
+    large_capacity: int = 120,
+    duration: float = 60.0,
+    seed: int = 1,
+    scale: float = 0.3,
+    tag_expiry: float = 10.0,
+) -> List[ScenarioSpec]:
+    """The flattened (FPP, capacity) grid as picklable scenario specs."""
+    return [
+        ScenarioSpec.make(
+            topology=topology,
+            duration=duration,
+            seed=seed,
+            scale=scale,
+            overrides=dict(
+                bf_capacity=capacity, bf_max_fpp=fpp, tag_expiry=tag_expiry
+            ),
+        )
+        for fpp in fpps
+        for capacity in (small_capacity, large_capacity)
+    ]
+
+
 def reproduce_table5(
     topology: int = 1,
     fpps: Sequence[float] = (1e-4, 1e-2),
@@ -64,6 +89,9 @@ def reproduce_table5(
     seed: int = 1,
     scale: float = 0.3,
     tag_expiry: float = 10.0,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> List[Table5Row]:
     """Regenerate Table V.
 
@@ -72,20 +100,24 @@ def reproduce_table5(
     CI-scale durations; paper scale is ``small_capacity=500,
     large_capacity=5000, duration=2000, scale=1.0``.
     """
+    specs = enumerate_table5(
+        topology, fpps, small_capacity, large_capacity,
+        duration, seed, scale, tag_expiry,
+    )
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    by_key = {
+        (dict(spec.overrides)["bf_max_fpp"], dict(spec.overrides)["bf_capacity"]): (
+            summary.total_bf_resets(edge=True),
+            summary.total_bf_resets(edge=False),
+        )
+        for spec, summary in zip(specs, summaries)
+    }
     rows: List[Table5Row] = []
     for fpp in fpps:
-        resets = {}
-        for capacity in (small_capacity, large_capacity):
-            scenario = Scenario.paper_topology(
-                topology, duration=duration, seed=seed, scale=scale
-            ).with_config(
-                bf_capacity=capacity, bf_max_fpp=fpp, tag_expiry=tag_expiry
-            )
-            result = run_scenario(scenario)
-            resets[capacity] = (
-                result.total_bf_resets(edge=True),
-                result.total_bf_resets(edge=False),
-            )
+        resets = {
+            capacity: by_key[(fpp, capacity)]
+            for capacity in (small_capacity, large_capacity)
+        }
         rows.append(
             Table5Row(
                 max_fpp=fpp,

@@ -22,11 +22,21 @@ from repro.filters.params import estimate_fpp, size_for_capacity
 
 Item = Union[bytes, bytearray, str]
 
+#: ``int.bit_count`` is Python 3.10+; resolved once so the fallback
+#: branch costs nothing on modern interpreters.
+_BIT_COUNT = getattr(int, "bit_count", None)
+
 
 def _item_bytes(item: Item) -> bytes:
     if isinstance(item, str):
         return item.encode("utf-8")
     return bytes(item)
+
+
+def _popcount(value: int) -> int:
+    if _BIT_COUNT is not None:
+        return int(_BIT_COUNT(value))
+    return bin(value).count("1")  # pragma: no cover - Python 3.9 only
 
 
 class BloomFilter:
@@ -105,11 +115,22 @@ class BloomFilter:
             self.san.bf_insert(self)
 
     def contains(self, item: Item) -> bool:
-        """Membership test; false positives possible, negatives exact."""
+        """Membership test; false positives possible, negatives exact.
+
+        The double-hash indices are computed inline rather than via
+        :meth:`_indices` — lookups are the hottest router operation and
+        the list allocation dominated the per-call cost.
+        """
         self.total_lookups += 1
         self.lookups_since_reset += 1
-        for idx in self._indices(item):
-            if not (self._bits[idx >> 3] >> (idx & 7)) & 1:
+        digest = hashlib.blake2b(_item_bytes(item), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        m = self.size_bits
+        bits = self._bits
+        for i in range(self.num_hashes):
+            idx = (h1 + i * h2) % m
+            if not (bits[idx >> 3] >> (idx & 7)) & 1:
                 return False
         return True
 
@@ -128,9 +149,12 @@ class BloomFilter:
         return self.current_fpp() >= self.max_fpp
 
     def reset(self) -> None:
-        """Clear all bits; lifetime statistics are preserved."""
-        for i in range(len(self._bits)):
-            self._bits[i] = 0
+        """Clear all bits; lifetime statistics are preserved.
+
+        One fresh zeroed bytearray beats writing every byte in a Python
+        loop — resets fire thousands of times in the small-filter runs.
+        """
+        self._bits = bytearray(len(self._bits))
         self.count = 0
         self.reset_count += 1
         self.lookups_since_reset = 0
@@ -149,8 +173,9 @@ class BloomFilter:
     # Introspection
     # ------------------------------------------------------------------
     def fill_ratio(self) -> float:
-        """Fraction of bits set (exact, O(m/8))."""
-        set_bits = sum(bin(b).count("1") for b in self._bits)
+        """Fraction of bits set (exact; one big-int popcount, no
+        per-byte Python loop)."""
+        set_bits = _popcount(int.from_bytes(self._bits, "big"))
         return set_bits / self.size_bits
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -51,6 +51,10 @@ METRIC_NAMES = (
     "bf_fill_ratio",
     "bf_current_fpp",
     "link_queue_seconds",
+    # Parallel experiment engine (repro.exec.engine).
+    "exec_runs_total",
+    "exec_cache_events_total",
+    "exec_worker_wall_seconds",
 )
 
 

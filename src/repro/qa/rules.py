@@ -405,6 +405,57 @@ class ScheduleMisuseRule(Rule):
                         )
 
 
+class DirectRunScenarioRule(Rule):
+    """SL006: no direct ``run_scenario`` loops in experiment drivers.
+
+    A driver that loops ``run_scenario`` serialises the whole grid in
+    one process and bypasses the run cache — exactly the pattern the
+    :mod:`repro.exec` engine replaces.  Enumerate the grid as
+    :class:`~repro.exec.spec.ScenarioSpec` values and hand them to
+    ``repro.exec.run_specs`` (which fans out over ``--jobs`` workers
+    and consults the content-addressed cache); reduce the returned
+    summaries afterwards.  Single straight-line calls stay legal — the
+    rule only fires on calls inside a loop or comprehension.
+    """
+
+    code = "SL006"
+    title = "no run_scenario loops in experiment drivers"
+
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While)
+    _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+    def applies_to(self, module: Module) -> bool:
+        if "/" not in module.relpath:
+            return True
+        return module.relpath.startswith("experiments/")
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        yield from self._walk(module, module.tree, in_loop=False)
+
+    def _walk(
+        self, module: Module, node: ast.AST, in_loop: bool
+    ) -> Iterator[Finding]:
+        if in_loop and isinstance(node, ast.Call):
+            name = _dotted_name(node.func).split(".")[-1]
+            if name == "run_scenario":
+                yield self._finding(
+                    module,
+                    node,
+                    "run_scenario() called in a loop; enumerate "
+                    "ScenarioSpec values and route them through "
+                    "repro.exec.run_specs (parallel fan-out + run cache)",
+                )
+        loop_children: Tuple[ast.AST, ...] = ()
+        if isinstance(node, self._LOOPS):
+            # Only the body repeats; the iterable expression runs once.
+            loop_children = tuple(node.body) + tuple(node.orelse)
+        elif isinstance(node, self._COMPREHENSIONS):
+            loop_children = tuple(ast.iter_child_nodes(node))
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop or any(child is c for c in loop_children)
+            yield from self._walk(module, child, child_in_loop)
+
+
 #: The active rule set, in code order.
 ALL_RULES: Sequence[Rule] = (
     WallClockRule(),
@@ -412,6 +463,7 @@ ALL_RULES: Sequence[Rule] = (
     UndeclaredNameRule(),
     MutableDefaultRule(),
     ScheduleMisuseRule(),
+    DirectRunScenarioRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

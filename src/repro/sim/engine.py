@@ -207,16 +207,37 @@ class Simulator:
             event.callback(*event.args)
 
     def step(self) -> bool:
-        """Execute exactly one pending event.  Returns False when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)[3]
+        """Execute exactly one pending event.  Returns False when drained.
+
+        Routes through the same sanitizer/profiler hooks as ``run`` (in
+        the same precedence order), so single-stepping a simulation
+        produces the identical event digest and profile a full ``run``
+        would.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0][3]
             if event.cancelled:
+                heapq.heappop(heap)
                 continue
+            san = self.sanitizer
+            profiler = self.profiler if san is None else None
+            if profiler is not None:
+                profiler.observe_heap(len(heap))
+            heapq.heappop(heap)
             self._live -= 1
             event.on_cancel = None
+            if san is not None:
+                san.before_event(event, self._now)
             self._now = event.time
             self.events_executed += 1
-            event.callback(*event.args)
+            if profiler is not None:
+                clock = profiler.clock
+                began = clock()
+                event.callback(*event.args)
+                profiler.record(event.callback, clock() - began)
+            else:
+                event.callback(*event.args)
             return True
         return False
 

@@ -1,0 +1,254 @@
+"""The repro.exec engine: spec canonicalisation, summary round-trips,
+serial/parallel equivalence, and the content-addressed run cache."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.exec import (
+    ExperimentEngine,
+    RunCache,
+    RunSummary,
+    ScenarioSpec,
+    cache_key,
+    canonical_value,
+    resolve_jobs,
+    run_specs,
+)
+from repro.exec.engine import _execute_spec
+from repro.obs.metrics import MetricsRegistry
+
+#: Small enough for CI, large enough that every figure quantity is
+#: non-trivial (clients request, attackers probe, filters fill).
+FAST = dict(topology=1, duration=2.0, scale=0.1)
+
+
+def fast_spec(seed=1, **kwargs):
+    params = dict(FAST)
+    params.update(kwargs)
+    return ScenarioSpec.make(seed=seed, **params)
+
+
+# ---------------------------------------------------------------------------
+# ScenarioSpec
+# ---------------------------------------------------------------------------
+class TestScenarioSpec:
+    def test_canonical_is_json_stable(self):
+        spec = fast_spec(overrides=dict(tag_expiry=5.0, bf_capacity=8))
+        blob = json.dumps(spec.canonical(), sort_keys=True)
+        again = json.dumps(fast_spec(
+            overrides=dict(bf_capacity=8, tag_expiry=5.0)
+        ).canonical(), sort_keys=True)
+        assert blob == again  # override order must not matter
+
+    def test_different_specs_differ(self):
+        assert fast_spec(seed=1).canonical() != fast_spec(seed=2).canonical()
+
+    def test_pickle_round_trip(self):
+        spec = fast_spec(overrides=dict(tag_expiry=5.0), hash_events=True)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_with_overrides_merges(self):
+        spec = fast_spec(overrides=dict(tag_expiry=5.0))
+        widened = spec.with_overrides(bf_capacity=8)
+        assert dict(widened.overrides) == {"tag_expiry": 5.0, "bf_capacity": 8}
+        assert dict(spec.overrides) == {"tag_expiry": 5.0}
+
+    def test_build_applies_overrides(self):
+        scenario = fast_spec(overrides=dict(tag_expiry=7.5)).build()
+        assert scenario.config.tag_expiry == 7.5
+        assert scenario.config.seed == 1
+
+    def test_canonical_value_handles_nested(self):
+        assert canonical_value({"b": (1, 2), "a": 1}) == {"a": 1, "b": [1, 2]}
+
+
+# ---------------------------------------------------------------------------
+# RunSummary
+# ---------------------------------------------------------------------------
+class TestRunSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return _execute_spec(fast_spec(hash_events=True))
+
+    def test_json_round_trip_is_exact(self, summary):
+        restored = RunSummary.from_json_dict(
+            json.loads(json.dumps(summary.to_json_dict()))
+        )
+        assert restored == summary
+        assert restored.metrics_dict() == summary.metrics_dict()
+
+    def test_accessors_mirror_run_result(self, summary):
+        from repro.experiments.runner import run_scenario
+
+        result = run_scenario(fast_spec().build())
+        assert summary.client_delivery_ratio() == result.client_delivery_ratio()
+        assert summary.tag_rates() == result.tag_rates()
+        assert summary.mean_latency() == result.mean_latency()
+        assert summary.latency_series(1.0) == result.latency_series(1.0)
+        assert summary.operation_counts(edge=True) == result.operation_counts(edge=True)
+        assert summary.reset_threshold(edge=False) == result.reset_threshold(edge=False)
+        assert summary.delivery_table_row() == result.delivery_table_row()
+
+    def test_to_summary_on_run_result(self):
+        from repro.experiments.runner import run_scenario
+
+        result = run_scenario(fast_spec().build())
+        assert result.to_summary() == _execute_spec(fast_spec())
+
+    def test_provenance_excluded_from_equality(self, summary):
+        twin = RunSummary.from_json_dict(summary.to_json_dict())
+        twin.wall_seconds = 99.0
+        twin.cached = True
+        twin.worker_pid = 1
+        assert twin == summary
+        assert "wall_seconds" not in twin.metrics_dict()
+
+    def test_wrong_latency_bucket_rejected(self, summary):
+        with pytest.raises(ValueError):
+            summary.latency_series(bucket=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Serial / parallel equivalence (the tentpole's correctness bar)
+# ---------------------------------------------------------------------------
+class TestSerialParallelEquivalence:
+    def test_jobs4_matches_jobs1_bit_for_bit(self):
+        specs = [fast_spec(seed=seed, hash_events=True) for seed in (1, 2)]
+        serial = run_specs(specs, jobs=1, use_cache=False,
+                           registry=MetricsRegistry())
+        parallel = run_specs(specs, jobs=4, use_cache=False,
+                             registry=MetricsRegistry())
+        assert [s.metrics_dict() for s in serial] == \
+            [p.metrics_dict() for p in parallel]
+        assert [s.event_digest for s in serial] == \
+            [p.event_digest for p in parallel]
+        assert all(s.event_digest for s in serial)
+
+    def test_sweep_jobs1_matches_jobs4(self):
+        from repro.experiments.sweeps import SweepSpec, run_sweep
+
+        sweep = SweepSpec(
+            base=dict(FAST),
+            grid={"tag_expiry": [5.0, 50.0]},
+            seeds=[1, 2],
+            metrics={
+                "q_rate": lambda r: r.tag_rates()[0],
+                "delivery": lambda r: r.client_delivery_ratio(),
+            },
+        )
+        serial = run_sweep(sweep, jobs=1, use_cache=False, hash_events=True)
+        parallel = run_sweep(sweep, jobs=4, use_cache=False, hash_events=True)
+        assert [p.samples for p in serial] == [p.samples for p in parallel]
+
+    def test_results_keep_submission_order(self, tmp_path):
+        specs = [fast_spec(seed=seed) for seed in (3, 1, 2)]
+        summaries = run_specs(specs, jobs=1, cache_dir=tmp_path,
+                              registry=MetricsRegistry())
+        assert [s.seed for s in summaries] == [3, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Run cache
+# ---------------------------------------------------------------------------
+class TestRunCache:
+    def test_hit_returns_without_executing(self, tmp_path, monkeypatch):
+        spec = fast_spec()
+        first = run_specs([spec], cache_dir=tmp_path, registry=MetricsRegistry())
+
+        def explode(_spec):
+            raise AssertionError("cache hit must not execute the scenario")
+
+        monkeypatch.setattr("repro.exec.engine._execute_spec", explode)
+        engine = ExperimentEngine(cache_dir=tmp_path, registry=MetricsRegistry())
+        second = engine.run_specs([spec])
+        assert second == first  # provenance excluded; measurements equal
+        assert second[0].cached and not first[0].cached
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.serial_runs == engine.stats.parallel_runs == 0
+
+    def test_cache_round_trips_exactly(self, tmp_path):
+        spec = fast_spec(hash_events=True)
+        first = run_specs([spec], cache_dir=tmp_path, registry=MetricsRegistry())
+        cached = run_specs([spec], cache_dir=tmp_path, registry=MetricsRegistry())
+        assert cached[0].metrics_dict() == first[0].metrics_dict()
+        assert cached[0].event_digest == first[0].event_digest
+
+    def test_stale_code_fingerprint_invalidates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "build-1")
+        spec = fast_spec()
+        run_specs([spec], cache_dir=tmp_path, registry=MetricsRegistry())
+
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "build-2")
+        engine = ExperimentEngine(cache_dir=tmp_path, registry=MetricsRegistry())
+        engine.run_specs([spec])
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.serial_runs == 1
+
+    def test_no_cache_bypasses(self, tmp_path):
+        spec = fast_spec()
+        run_specs([spec], cache_dir=tmp_path, registry=MetricsRegistry())
+        engine = ExperimentEngine(cache_dir=tmp_path, use_cache=False,
+                                  registry=MetricsRegistry())
+        engine.run_specs([spec])
+        assert engine.cache is None
+        assert engine.stats.serial_runs == 1
+        assert engine.stats.cache_hits == engine.stats.cache_misses == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = fast_spec()
+        cache = RunCache(tmp_path)
+        key = cache_key(spec, fingerprint="pinned")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_key_depends_on_spec_and_code(self):
+        base = cache_key(fast_spec(), fingerprint="f1")
+        assert cache_key(fast_spec(), fingerprint="f1") == base
+        assert cache_key(fast_spec(seed=2), fingerprint="f1") != base
+        assert cache_key(fast_spec(), fingerprint="f2") != base
+
+
+# ---------------------------------------------------------------------------
+# Knob resolution and telemetry
+# ---------------------------------------------------------------------------
+class TestEngineKnobs:
+    def test_resolve_jobs_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        assert resolve_jobs(2) == 2
+        monkeypatch.setenv("REPRO_JOBS", "garbage")
+        assert resolve_jobs(None) == 1
+
+    def test_cache_dir_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        engine = ExperimentEngine(registry=MetricsRegistry())
+        assert engine.cache is not None
+        assert engine.cache.directory == tmp_path
+
+    def test_registry_counters_move(self, tmp_path):
+        registry = MetricsRegistry()
+        spec = fast_spec()
+        run_specs([spec], cache_dir=tmp_path, registry=registry)
+        run_specs([spec], cache_dir=tmp_path, registry=registry)
+        snap = registry.snapshot()
+        flat = {
+            (name, tuple(sorted(sample["labels"].items()))): sample.get("value")
+            for name, family in snap.items()
+            for sample in family["samples"]
+        }
+        assert flat[("exec_runs_total", (("mode", "serial"),))] == 1
+        assert flat[("exec_cache_events_total", (("result", "miss"),))] == 1
+        assert flat[("exec_cache_events_total", (("result", "hit"),))] == 1
+        wall = snap["exec_worker_wall_seconds"]["samples"][0]
+        assert wall["count"] == 1 and wall["sum"] > 0.0

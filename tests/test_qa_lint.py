@@ -7,8 +7,6 @@ import json
 import pathlib
 import textwrap
 
-import pytest
-
 from repro.qa.findings import Finding, render_json, render_text
 from repro.qa.lint import lint_paths, main, parse_suppressions
 from repro.qa.rules import package_relpath
@@ -252,6 +250,87 @@ class TestScheduleMisuse:
     def test_plain_callable_clean(self, tmp_path):
         findings = run_lint(tmp_path, "def f(sim, cb):\n    sim.schedule(0.5, cb, 1)\n")
         assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SL006: run_scenario loops in experiment drivers
+# ---------------------------------------------------------------------------
+class TestDirectRunScenario:
+    def test_for_loop_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            def reproduce(scenarios):
+                results = []
+                for scenario in scenarios:
+                    results.append(run_scenario(scenario))
+                return results
+            """,
+        )
+        assert codes(findings) == ["SL006"]
+        assert "run_specs" in findings[0].message
+
+    def test_comprehension_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "def reproduce(ss):\n    return [run_scenario(s) for s in ss]\n",
+        )
+        assert codes(findings) == ["SL006"]
+
+    def test_nested_loop_flagged_once(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            def reproduce(grid, seeds):
+                for point in grid:
+                    for seed in seeds:
+                        run_scenario(point, seed)
+            """,
+        )
+        assert codes(findings) == ["SL006"]
+
+    def test_straight_line_call_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            def reproduce(scenario):
+                return run_scenario(scenario)
+            """,
+        )
+        assert findings == []
+
+    def test_run_specs_loop_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """
+            def reproduce(specs):
+                out = []
+                for summary in run_specs(specs):
+                    out.append(summary)
+                return out
+            """,
+        )
+        assert findings == []
+
+    def test_non_experiment_path_exempt(self, tmp_path):
+        pkg = tmp_path / "repro" / "exec"
+        pkg.mkdir(parents=True)
+        path = pkg / "engine.py"
+        path.write_text(
+            "def drain(scenarios):\n"
+            "    return [run_scenario(s) for s in scenarios]\n"
+        )
+        assert lint_paths([str(path)], select={"SL006"}) == []
+
+    def test_experiments_path_checked(self, tmp_path):
+        pkg = tmp_path / "repro" / "experiments"
+        pkg.mkdir(parents=True)
+        path = pkg / "driver.py"
+        path.write_text(
+            "def drain(scenarios):\n"
+            "    return [run_scenario(s) for s in scenarios]\n"
+        )
+        assert codes(lint_paths([str(path)])) == ["SL006"]
 
 
 # ---------------------------------------------------------------------------

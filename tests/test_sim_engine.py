@@ -158,3 +158,72 @@ def test_determinism_across_instances():
         return values
 
     assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# step() must route through the same hooks as run()
+# ---------------------------------------------------------------------------
+def _drain_by_stepping(sim):
+    while sim.step():
+        pass
+
+
+def test_step_feeds_sanitizer_like_run():
+    from repro.qa.simsan import SimSan
+
+    def build(san=None):
+        sim = Simulator(seed=7)
+        if san is not None:
+            sim.sanitizer = san
+        rng = sim.rng.stream("load")
+        for i in range(20):
+            sim.schedule(rng.random() * 5.0, lambda: None)
+        return sim
+
+    ran = SimSan(mode="collect", hash_events=True)
+    sim = build(ran)
+    sim.run()
+
+    stepped = SimSan(mode="collect", hash_events=True)
+    sim2 = build(stepped)
+    _drain_by_stepping(sim2)
+
+    assert stepped.events_seen == ran.events_seen == 20
+    assert stepped.stream_digest() == ran.stream_digest()
+
+
+def test_step_feeds_profiler_like_run():
+    from repro.obs.profiler import SimProfiler
+
+    def build(profiler):
+        sim = Simulator(seed=7)
+        sim.profiler = profiler
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        return sim
+
+    ran = SimProfiler()
+    sim = build(ran)
+    sim.run()
+
+    stepped = SimProfiler()
+    sim2 = build(stepped)
+    _drain_by_stepping(sim2)
+
+    assert stepped.events == ran.events == 5
+
+
+def test_step_sanitizer_takes_precedence_over_profiler():
+    from repro.obs.profiler import SimProfiler
+    from repro.qa.simsan import SimSan
+
+    sim = Simulator(seed=7)
+    san = SimSan(mode="collect", hash_events=True)
+    profiler = SimProfiler()
+    sim.sanitizer = san
+    sim.profiler = profiler
+    for i in range(3):
+        sim.schedule(float(i + 1), lambda: None)
+    _drain_by_stepping(sim)
+    assert san.events_seen == 3
+    assert profiler.events == 0
