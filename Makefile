@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test qa lint sanitize determinism bench perf
+.PHONY: test qa lint sanitize determinism bench perf regress
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,3 +37,27 @@ bench:
 perf:
 	PYTHONPATH=src:. $(PYTHON) -m pytest \
 		benchmarks/test_parallel_speedup.py benchmarks/test_bloom_micro.py -q -s
+
+# Regression gate: run a tiny two-spec fig6 fleet twice into a fresh
+# history (second pass replays from the run cache, telemetry included),
+# then diff the two entries — non-zero exit on any metric drift or
+# wall-clock growth beyond the budget.  The CI job of the same name
+# uploads the engine events, merged fleet metrics, and Chrome trace
+# this leaves in $(REGRESS_DIR).  docs/OBSERVABILITY.md, "Fleet
+# observability".
+REGRESS_DIR ?= .repro-regress
+
+regress:
+	rm -rf $(REGRESS_DIR)
+	for i in 1 2; do \
+		$(PYTHON) -m repro fig6 --duration 2 --scale 0.1 --jobs 1 \
+			--cache-dir $(REGRESS_DIR)/cache \
+			--history-dir $(REGRESS_DIR) \
+			--fleet-telemetry \
+			--engine-events $(REGRESS_DIR)/engine.events.jsonl \
+			--fleet-metrics-out $(REGRESS_DIR)/fleet-metrics.json \
+			--trace-out $(REGRESS_DIR)/trace.json --trace-format chrome \
+			> /dev/null || exit 1; \
+	done
+	$(PYTHON) -m repro.obs.history diff --history-dir $(REGRESS_DIR) \
+		--figure fig6 --wall-tolerance 200

@@ -93,6 +93,39 @@ def test_simsan_off_is_zero_cost():
     assert tables_off <= tables_on * NOISE_BOUND
 
 
+def _fleet_workload(collect: bool) -> float:
+    from repro.exec.engine import ExperimentEngine
+    from repro.experiments.fig6_tag_rates import enumerate_fig6
+
+    specs = enumerate_fig6(duration=2.0, scale=0.1)[:1]
+
+    def run() -> None:
+        engine = ExperimentEngine(
+            jobs=1, use_cache=False, collect_telemetry=collect
+        )
+        engine.run_specs(specs, figure="bench")
+
+    return _best_of(run)
+
+
+def test_fleet_telemetry_off_is_zero_cost():
+    """Same contract at the engine layer: with the worker telemetry
+    round-trip off (the default), ``run_specs`` installs no session,
+    merges nothing, and may never cost more than the collecting state
+    beyond timer noise."""
+    fleet_off = _fleet_workload(collect=False)
+    fleet_on = _fleet_workload(collect=True)
+
+    publish(
+        "fleet_overhead",
+        "Fleet telemetry overhead (best-of-%d wall times)\n" % REPEATS
+        + f"  run_specs     off={fleet_off * 1e3:8.2f} ms   "
+        + f"on={fleet_on * 1e3:8.2f} ms   on/off={fleet_on / fleet_off:5.2f}x",
+    )
+
+    assert fleet_off <= fleet_on * NOISE_BOUND
+
+
 def test_off_state_run_to_run_stability():
     """The off path's cost is its own noise floor: repeated runs agree
     to well within the margin the zero-cost assertion relies on."""

@@ -25,6 +25,7 @@ from repro.experiments.fig8_bf_reset import render_fig8, reproduce_fig8
 from repro.experiments.table2_comparison import render_table2, reproduce_table2
 from repro.experiments.table4_delivery import render_table4, reproduce_table4
 from repro.experiments.table5_bf_resets import render_table5, reproduce_table5
+from repro.obs.export import TRACE_FORMATS
 
 
 def _exec_kwargs(args) -> Dict:
@@ -192,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the packet/span event trace as JSON lines",
     )
     telemetry.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default="jsonl",
+        help="trace file format: 'jsonl' (archival lines) or 'chrome' "
+        "(a trace_event document for chrome://tracing / Perfetto)",
+    )
+    telemetry.add_argument(
         "--sample-interval", type=float, default=None, metavar="SECONDS",
         help="sample PIT/CS/BF/link/scheduler state every N virtual seconds",
     )
@@ -202,6 +208,36 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--heartbeat", type=float, default=0.0, metavar="SECONDS",
         help="with --profile: print a liveness pulse every N wall seconds",
+    )
+    fleet = parser.add_argument_group(
+        "fleet observability", "engine-level progress, merged metrics, and "
+        "run history (docs/OBSERVABILITY.md, \"Fleet observability\")"
+    )
+    fleet.add_argument(
+        "--progress", action="store_true",
+        help="live fleet status line on stderr while specs execute "
+        "(equivalent to REPRO_PROGRESS=1)",
+    )
+    fleet.add_argument(
+        "--engine-events", metavar="PATH", default=None,
+        help="append fleet.* engine events as JSON lines (equivalent to "
+        "REPRO_ENGINE_EVENTS)",
+    )
+    fleet.add_argument(
+        "--fleet-telemetry", action="store_true",
+        help="force the worker telemetry round-trip on even without other "
+        "telemetry flags (equivalent to REPRO_FLEET_TELEMETRY=1)",
+    )
+    fleet.add_argument(
+        "--fleet-metrics-out", metavar="PATH", default=None,
+        help="write the merged fleet-wide metrics snapshot as JSON "
+        "(equivalent to REPRO_FLEET_METRICS)",
+    )
+    fleet.add_argument(
+        "--history-dir", metavar="DIR", default=None,
+        help="append per-figure run-history entries for "
+        "'python -m repro.obs.history diff' (equivalent to "
+        "REPRO_HISTORY_DIR)",
     )
     return parser
 
@@ -215,6 +251,7 @@ def _telemetry_config(args) -> "TelemetryConfig | None":
     return TelemetryConfig(
         metrics_path=args.metrics_out,
         trace_path=args.trace_out,
+        trace_format=args.trace_format,
         sample_interval=args.sample_interval,
         profile=args.profile,
         heartbeat=args.heartbeat,
@@ -228,6 +265,19 @@ def main(argv: List[str] = None) -> int:
         # arms every run this process makes without threading a
         # parameter through each artifact function.
         os.environ["REPRO_SIMSAN"] = "1"
+    # The fleet flags ride the same env-forwarding pattern: the engine
+    # reads these at construction, so every ExperimentEngine any driver
+    # builds this process picks them up without new parameters.
+    if args.progress:
+        os.environ["REPRO_PROGRESS"] = "1"
+    if args.fleet_telemetry:
+        os.environ["REPRO_FLEET_TELEMETRY"] = "1"
+    if args.engine_events:
+        os.environ["REPRO_ENGINE_EVENTS"] = args.engine_events
+    if args.fleet_metrics_out:
+        os.environ["REPRO_FLEET_METRICS"] = args.fleet_metrics_out
+    if args.history_dir:
+        os.environ["REPRO_HISTORY_DIR"] = args.history_dir
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):
             print(f"{name:8s} -> repro.experiments.{name}_*")

@@ -34,7 +34,8 @@ from repro.exec.summary import RunSummary
 __all__ = ["CACHE_FORMAT", "RunCache", "cache_key", "code_fingerprint"]
 
 #: Bump to invalidate every existing cache entry on format changes.
-CACHE_FORMAT = 1
+#: 2: RunSummary grew the ``telemetry`` envelope (worker round-trip).
+CACHE_FORMAT = 2
 
 _fingerprint_memo: Optional[str] = None
 

@@ -22,17 +22,31 @@ rows.  The engine owns everything in between:
 Job-count resolution: an explicit ``jobs`` argument wins, then the
 ``REPRO_JOBS`` environment variable, then 1 (serial).  Serial runs
 execute in-process, so process-default telemetry
-(:func:`repro.obs.session.set_default_telemetry`) still attaches;
-parallel workers run untelemetered.
+(:func:`repro.obs.session.set_default_telemetry`) still attaches.
+
+**Worker telemetry round-trip** (docs/OBSERVABILITY.md, "Fleet
+observability"): with fleet telemetry on — explicit
+``collect_telemetry=True``, ``REPRO_FLEET_TELEMETRY=1``, or
+automatically whenever a process-default telemetry config is installed
+— every run (worker or in-process) attaches a
+:class:`~repro.obs.session.TelemetrySession` and ships its finalize
+record home inside the pickled :class:`RunSummary` (``.telemetry``).
+The parent merges each envelope's metrics snapshot, in submission
+order, into :attr:`ExperimentEngine.fleet_registry` via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`; the run
+cache stores the envelope too, so cache hits replay the same telemetry
+without re-executing.  :meth:`ExperimentEngine.merged_snapshot` is the
+fleet registry folded together with the engine's own exec counters.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import RunCache, cache_key
 from repro.exec.spec import ScenarioSpec
@@ -44,6 +58,10 @@ __all__ = ["ExecStats", "ExperimentEngine", "resolve_jobs", "run_specs"]
 #: Environment knobs (documented in docs/PERFORMANCE.md).
 JOBS_ENV = "REPRO_JOBS"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+FLEET_TELEMETRY_ENV = "REPRO_FLEET_TELEMETRY"
+PROGRESS_ENV = "REPRO_PROGRESS"
+ENGINE_EVENTS_ENV = "REPRO_ENGINE_EVENTS"
+FLEET_METRICS_ENV = "REPRO_FLEET_METRICS"
 
 #: Histogram buckets for per-run wall clock (seconds); runs range from
 #: sub-second CI points to minutes-long paper-scale sweeps.
@@ -60,6 +78,14 @@ def default_registry() -> MetricsRegistry:
     return _default_registry
 
 
+def _env_flag(name: str) -> Optional[bool]:
+    """Tri-state env flag: unset = None, else truthy unless 0/false/no/off."""
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return None
+    return raw not in ("0", "false", "no", "off")
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Explicit argument > ``REPRO_JOBS`` env > 1 (serial)."""
     if jobs is not None:
@@ -73,12 +99,22 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return 1
 
 
-def _execute_spec(spec: ScenarioSpec) -> RunSummary:
+def _execute_spec(
+    spec: ScenarioSpec, telemetry_args: Optional[Dict[str, Any]] = None
+) -> RunSummary:
     """Run one spec end to end (the worker entry point).
 
     Top-level so it pickles under the spawn start method.  Imports stay
     inside the function: a freshly spawned interpreter only pays for
     the simulator once it actually runs something.
+
+    ``telemetry_args`` (``{"profile": bool, "sample_interval": float}``)
+    asks for the fleet telemetry round-trip: the run attaches a
+    session and its finalize record travels home in
+    ``summary.telemetry``.  In-process runs reuse the process-default
+    config when one is installed (so files/streams keep accumulating);
+    workers — where no default exists — build a collect-mode config
+    that touches no files.
     """
     from repro.experiments.runner import run_scenario
 
@@ -89,14 +125,38 @@ def _execute_spec(spec: ScenarioSpec) -> RunSummary:
         from repro.qa.simsan import SimSan
 
         sanitizer = SimSan(mode="collect", hash_events=True)
-    result = run_scenario(scenario, sanitizer=sanitizer)
+
+    telemetry = None
+    if telemetry_args is not None:
+        from repro.obs.session import TelemetryConfig, current_telemetry
+
+        telemetry = current_telemetry()
+        if telemetry is None or not telemetry.enabled():
+            telemetry = TelemetryConfig(
+                collect=True,
+                profile=bool(telemetry_args.get("profile", False)),
+                sample_interval=telemetry_args.get("sample_interval"),
+            )
+
+    result = run_scenario(scenario, telemetry=telemetry, sanitizer=sanitizer)
     digest = sanitizer.stream_digest() if sanitizer is not None else None
     summary = summarize(
         result, latency_bucket=spec.latency_bucket, event_digest=digest
     )
+    if result.telemetry is not None:
+        summary.telemetry = result.telemetry.record
     summary.wall_seconds = time.perf_counter() - began
     summary.worker_pid = os.getpid()
     return summary
+
+
+def _execute_indexed(
+    payload: Tuple[int, ScenarioSpec, Optional[Dict[str, Any]]]
+) -> Tuple[int, RunSummary]:
+    """Pool adapter: tags each result with its pending-list slot so the
+    completion queue (``imap_unordered``) can restore submission order."""
+    slot, spec, telemetry_args = payload
+    return slot, _execute_spec(spec, telemetry_args)
 
 
 @dataclass
@@ -126,6 +186,25 @@ class ExperimentEngine:
         (the CLI's ``--no-cache``).
     registry:
         Metrics registry to record into (``None`` = the module default).
+    collect_telemetry:
+        Worker telemetry round-trip: ``True``/``False`` explicit,
+        ``None`` = ``REPRO_FLEET_TELEMETRY`` env, else on automatically
+        whenever a process-default telemetry config is installed.
+    progress:
+        Live status line on stderr (``None`` = ``REPRO_PROGRESS`` env,
+        else off).
+    events_path:
+        Append ``fleet.*`` events here as JSON lines (``None`` =
+        ``REPRO_ENGINE_EVENTS`` env, else off).
+    history_dir:
+        Append a run-history entry per :meth:`run_specs` call (``None``
+        = ``REPRO_HISTORY_DIR`` env, else off).
+    fleet_metrics_path:
+        Write :meth:`merged_snapshot` as JSON after every
+        :meth:`run_specs` call (``None`` = ``REPRO_FLEET_METRICS`` env,
+        else off).
+    stream:
+        Progress stream (``None`` = stderr; tests pass a StringIO).
     """
 
     def __init__(
@@ -134,6 +213,12 @@ class ExperimentEngine:
         cache_dir: Optional[Any] = None,
         use_cache: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        collect_telemetry: Optional[bool] = None,
+        progress: Optional[bool] = None,
+        events_path: Optional[str] = None,
+        history_dir: Optional[Any] = None,
+        fleet_metrics_path: Optional[str] = None,
+        stream: Optional[object] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         directory = cache_dir
@@ -143,6 +228,34 @@ class ExperimentEngine:
             RunCache(directory) if (use_cache and directory is not None) else None
         )
         self.registry = registry if registry is not None else default_registry()
+        self.collect_telemetry = (
+            collect_telemetry
+            if collect_telemetry is not None
+            else _env_flag(FLEET_TELEMETRY_ENV)
+        )
+        self.progress = (
+            progress if progress is not None else bool(_env_flag(PROGRESS_ENV))
+        )
+        self.events_path = (
+            events_path
+            if events_path is not None
+            else os.environ.get(ENGINE_EVENTS_ENV, "").strip() or None
+        )
+        if history_dir is None:
+            from repro.obs.history import HISTORY_DIR_ENV
+
+            history_dir = os.environ.get(HISTORY_DIR_ENV, "").strip() or None
+        self.history_dir = history_dir
+        self.fleet_metrics_path = (
+            fleet_metrics_path
+            if fleet_metrics_path is not None
+            else os.environ.get(FLEET_METRICS_ENV, "").strip() or None
+        )
+        self.stream = stream
+        #: Per-run telemetry envelopes merged in submission order — the
+        #: fleet-wide metrics view.  Deterministic: for a fixed seed the
+        #: serial and parallel merges are bit-identical.
+        self.fleet_registry = MetricsRegistry()
         self.stats = ExecStats()
         self._runs_total = self.registry.counter(
             "exec_runs_total",
@@ -164,11 +277,50 @@ class ExperimentEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_specs(self, specs: Iterable[ScenarioSpec]) -> List[RunSummary]:
-        """Execute every spec and return summaries in submission order."""
+    def run_specs(
+        self, specs: Iterable[ScenarioSpec], figure: str = ""
+    ) -> List[RunSummary]:
+        """Execute every spec and return summaries in submission order.
+
+        ``figure`` labels the run in the history store and the fleet
+        progress events (e.g. ``"fig6"``); it does not affect results.
+        """
+        from repro.obs.session import current_telemetry
+
+        began = time.perf_counter()
         ordered = list(specs)
         results: List[Optional[RunSummary]] = [None] * len(ordered)
         pending: List[Tuple[int, ScenarioSpec, Optional[str]]] = []
+
+        default_config = current_telemetry()
+        if default_config is not None and not default_config.enabled():
+            default_config = None
+        collect = (
+            self.collect_telemetry
+            if self.collect_telemetry is not None
+            else default_config is not None
+        )
+        telemetry_args: Optional[Dict[str, Any]] = None
+        if collect:
+            telemetry_args = {
+                "profile": default_config.profile if default_config else False,
+                "sample_interval": (
+                    default_config.sample_interval if default_config else None
+                ),
+            }
+
+        progress = None
+        if self.progress or self.events_path:
+            from repro.obs.fleet import FleetProgress
+
+            progress = FleetProgress(
+                total=len(ordered),
+                jobs=self.jobs,
+                stream=self.stream,
+                events_path=self.events_path,
+                show=self.progress,
+            )
+            progress.run_started(figure)
 
         for index, spec in enumerate(ordered):
             key: Optional[str] = None
@@ -180,6 +332,8 @@ class ExperimentEngine:
                     results[index] = hit
                     self.stats.cache_hits += 1
                     self._cache_events.labels(result="hit").inc()
+                    if progress is not None:
+                        progress.spec_cached(hit.label)
                     continue
                 self.stats.cache_misses += 1
                 self._cache_events.labels(result="miss").inc()
@@ -187,23 +341,94 @@ class ExperimentEngine:
 
         if pending:
             workers = min(self.jobs, len(pending))
+            summaries: List[Optional[RunSummary]] = [None] * len(pending)
             if workers > 1:
                 mode = "parallel"
+                payloads = [
+                    (slot, spec, telemetry_args)
+                    for slot, (_, spec, _) in enumerate(pending)
+                ]
                 context = multiprocessing.get_context("spawn")
                 with context.Pool(processes=workers) as pool:
-                    summaries = pool.map(
-                        _execute_spec, [spec for _, spec, _ in pending], chunksize=1
-                    )
+                    if progress is not None:
+                        for _, spec, _ in pending:
+                            progress.spec_started(spec.label)
+                    # Completion queue: results arrive as workers finish
+                    # (live progress), then land back in their submission
+                    # slot so downstream order never depends on timing.
+                    for slot, summary in pool.imap_unordered(
+                        _execute_indexed, payloads, chunksize=1
+                    ):
+                        summaries[slot] = summary
+                        if progress is not None:
+                            progress.spec_finished(
+                                summary.label, summary.wall_seconds, mode
+                            )
             else:
                 mode = "serial"
-                summaries = [_execute_spec(spec) for _, spec, _ in pending]
+                for slot, (_, spec, _) in enumerate(pending):
+                    if progress is not None:
+                        progress.spec_started(spec.label)
+                    summary = _execute_spec(spec, telemetry_args)
+                    summaries[slot] = summary
+                    if progress is not None:
+                        progress.spec_finished(
+                            summary.label, summary.wall_seconds, mode
+                        )
             for (index, _, key), summary in zip(pending, summaries):
                 results[index] = summary
                 self._note_run(mode, summary)
                 if self.cache is not None and key is not None:
                     self.cache.put(key, summary)
 
-        return [summary for summary in results if summary is not None]
+        final = [summary for summary in results if summary is not None]
+        self._merge_fleet_telemetry(final, default_config)
+        wall = time.perf_counter() - began
+        if progress is not None:
+            progress.run_finished()
+        if self.history_dir is not None:
+            from repro.obs.history import RunHistory
+
+            RunHistory(self.history_dir).append(
+                figure=figure,
+                jobs=self.jobs,
+                wall_seconds=wall,
+                specs=ordered,
+                summaries=final,
+            )
+        if self.fleet_metrics_path:
+            with open(self.fleet_metrics_path, "w", encoding="utf-8") as fh:
+                json.dump(self.merged_snapshot(), fh, indent=2)
+                fh.write("\n")
+        return final
+
+    def _merge_fleet_telemetry(
+        self, summaries: Sequence[RunSummary], default_config: Optional[Any]
+    ) -> None:
+        """Fold per-run envelopes into the fleet registry (submission
+        order, so gauge last-write-wins stays deterministic) and forward
+        worker/cached records to the process-default writer — in-process
+        sessions already persisted themselves."""
+        pid = os.getpid()
+        for summary in summaries:
+            envelope = summary.telemetry
+            if not envelope:
+                continue
+            metrics = envelope.get("metrics")
+            if metrics:
+                self.fleet_registry.merge_snapshot(metrics)
+            if default_config is not None and (
+                summary.cached or summary.worker_pid != pid
+            ):
+                default_config.writer().add_run(envelope)
+
+    def merged_snapshot(self) -> Dict[str, dict]:
+        """The engine's own exec counters folded together with the
+        fleet-wide per-run telemetry, as one snapshot."""
+        merged = MetricsRegistry()
+        merged.merge(self.registry)
+        merged.merge(self.fleet_registry)
+        return merged.snapshot()
 
     def _note_run(self, mode: str, summary: RunSummary) -> None:
         if mode == "parallel":
@@ -222,9 +447,15 @@ def run_specs(
     cache_dir: Optional[Any] = None,
     use_cache: bool = True,
     registry: Optional[MetricsRegistry] = None,
+    figure: str = "",
+    collect_telemetry: Optional[bool] = None,
 ) -> List[RunSummary]:
     """One-shot convenience over :class:`ExperimentEngine`."""
     engine = ExperimentEngine(
-        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, registry=registry
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        registry=registry,
+        collect_telemetry=collect_telemetry,
     )
-    return engine.run_specs(specs)
+    return engine.run_specs(specs, figure=figure)

@@ -82,6 +82,12 @@ class RunSummary:
     wall_seconds: float = field(default=0.0, compare=False)
     cached: bool = field(default=False, compare=False)
     worker_pid: int = field(default=0, compare=False)
+    #: The run's telemetry envelope (a :meth:`TelemetrySession.finalize`
+    #: record: bridged metrics snapshot, sampler series, profile) when
+    #: the engine ran with fleet telemetry on; ``None`` otherwise.
+    #: Provenance-adjacent: excluded from equality so telemetered and
+    #: untelemetered runs of one spec still compare equal.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # RunResult-compatible accessors
@@ -210,6 +216,7 @@ class RunSummary:
             "events_executed": self.events_executed,
             "event_digest": self.event_digest,
             "wall_seconds": self.wall_seconds,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -254,6 +261,7 @@ class RunSummary:
                 else str(payload["event_digest"])
             ),
             wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            telemetry=payload.get("telemetry"),
         )
 
 

@@ -92,7 +92,8 @@ def reproduce_fig5(
     specs = enumerate_fig5(
         topologies, bf_sizes, duration, seed, scale, tag_expiry, literal_costs
     )
-    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                          figure="fig5")
     points: List[Fig5Point] = []
     for spec, summary in zip(specs, summaries):
         points.append(

@@ -60,7 +60,8 @@ def reproduce_fig6(
     """Regenerate Fig. 6's bars (main panel: sweep topologies at
     TE=10 s; inset: sweep tag expiry on one topology)."""
     specs = enumerate_fig6(topologies, tag_expiries, duration, seed, scale)
-    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                          figure="fig6")
     points: List[Fig6Point] = []
     for spec, summary in zip(specs, summaries):
         request_rate, receive_rate = summary.tag_rates()

@@ -57,7 +57,8 @@ def reproduce_fig7(
 ) -> List[Fig7Row]:
     """Regenerate Fig. 7's bars for the requested topologies."""
     specs = enumerate_fig7(topologies, duration, seed, scale)
-    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                          figure="fig7")
     rows: List[Fig7Row] = []
     for spec, summary in zip(specs, summaries):
         edge = summary.operation_counts(edge=True)

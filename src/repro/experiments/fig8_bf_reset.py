@@ -78,7 +78,8 @@ def reproduce_fig8(
     specs = enumerate_fig8(
         topology, tag_expiries, fpps, duration, seed, scale, bf_capacity
     )
-    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                          figure="fig8")
     points: List[Fig8Point] = []
     for spec, summary in zip(specs, summaries):
         overrides = dict(spec.overrides)

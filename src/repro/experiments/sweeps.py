@@ -168,7 +168,8 @@ def run_sweep(
     """
     scenario_specs = enumerate_sweep(spec, hash_events=hash_events)
     summaries = run_specs(
-        scenario_specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+        scenario_specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        figure="sweep",
     )
     per_point = len(spec.seeds)
     results: List[SweepPoint] = []

@@ -86,7 +86,8 @@ def reproduce_table2(
     """Run every scheme on the identical scenario and measure the
     quantitative shadows of Table II's qualitative cells."""
     specs = enumerate_table2(topology, duration, seed, scale, schemes)
-    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                          figure="table2")
     measurements: List[SchemeMeasurement] = []
     for spec, summary in zip(specs, summaries):
         attacker_received = summary.total_received(attackers=True)

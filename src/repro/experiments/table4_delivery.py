@@ -68,7 +68,8 @@ def reproduce_table4(
     """Regenerate Table IV rows (CI-scale defaults; paper scale is
     ``topologies=(1,2,3,4), duration=2000, scale=1.0``)."""
     specs = enumerate_table4(topologies, duration, seed, scale)
-    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                          figure="table4")
     rows: List[Table4Row] = []
     for spec, summary in zip(specs, summaries):
         topology = spec.topology

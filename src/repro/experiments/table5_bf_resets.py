@@ -104,7 +104,8 @@ def reproduce_table5(
         topology, fpps, small_capacity, large_capacity,
         duration, seed, scale, tag_expiry,
     )
-    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    summaries = run_specs(specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                          figure="table5")
     by_key = {
         (dict(spec.overrides)["bf_max_fpp"], dict(spec.overrides)["bf_capacity"]): (
             summary.total_bf_resets(edge=True),

@@ -1,0 +1,188 @@
+"""Chrome ``trace_event`` export for span and substrate traces.
+
+The JSONL trace file (``--trace-out t.jsonl``) is the archival format:
+one record per line, lossless, greppable.  This module renders the same
+records into the Chrome trace-event JSON that ``chrome://tracing`` and
+Perfetto load directly (``--trace-format=chrome``):
+
+- one *process* per run (``pid`` = run index, named via ``process_name``
+  metadata), one *thread track* per simulated node (``thread_name``);
+- every ended Interest span becomes a complete ("X") slice on its
+  client's track, ``args`` carrying the outcome and the
+  :meth:`~repro.obs.spans.Span.decompose` latency split;
+- the span's per-hop segments (queue/tx/prop/compute) nest inside it as
+  child slices on the same track, clipped to the parent so the viewer's
+  containment invariant holds;
+- marks (serve, pit.wait, drop) and substrate records (rx/tx, cs.hit,
+  pit events, link drops) render as instant ("i") events on the track
+  of the node that emitted them.
+
+Timestamps are virtual-time seconds scaled to microseconds, the unit
+the trace-event spec mandates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.spans import SpanBuilder
+from repro.sim.tracing import TraceRecord
+
+__all__ = ["TRACE_FORMATS", "chrome_trace_events", "write_chrome_trace"]
+
+#: Accepted ``--trace-format`` values.
+TRACE_FORMATS = ("jsonl", "chrome")
+
+_MICROS = 1e6
+
+
+def _node_tracks(spans: Iterable, substrate: Iterable[TraceRecord]) -> Dict[str, int]:
+    """Stable node → tid mapping (sorted names, tids from 1)."""
+    nodes = set()
+    for span in spans:
+        if span.node:
+            nodes.add(span.node)
+        for mark in span.marks:
+            if mark.node:
+                nodes.add(mark.node)
+    for record in substrate:
+        node = record.payload.get("node") or record.payload.get("src")
+        if node:
+            nodes.add(node)
+    return {node: index + 1 for index, node in enumerate(sorted(nodes))}
+
+
+def chrome_trace_events(
+    records: Sequence[TraceRecord], pid: int = 1, run: str = ""
+) -> List[dict]:
+    """Render one run's trace records as Chrome trace-event dicts."""
+    builder = SpanBuilder()
+    substrate: List[TraceRecord] = []
+    for record in records:
+        if record.name.startswith("span."):
+            builder.add(record)
+        else:
+            substrate.append(record)
+
+    spans = [
+        builder.spans[span_id]
+        for span_id in sorted(builder.spans)
+        if builder.spans[span_id].start_time is not None
+    ]
+    tids = _node_tracks(spans, substrate)
+
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": run or f"run-{pid}"},
+        }
+    ]
+    for node, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": node},
+            }
+        )
+
+    for span in spans:
+        tid = tids.get(span.node, 0)
+        start = span.start_time
+        if span.end_time is not None:
+            duration = span.end_time - start
+        else:
+            duration = span.covered()
+        events.append(
+            {
+                "name": span.content or f"span-{span.span_id}",
+                "cat": "span",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": start * _MICROS,
+                "dur": duration * _MICROS,
+                "args": {
+                    "span": span.span_id,
+                    "kind": span.kind,
+                    "outcome": span.outcome,
+                    **span.decompose(),
+                },
+            }
+        )
+        limit = start + duration
+        for segment in span.segments:
+            seg_start = max(segment.start, start)
+            seg_end = min(segment.start + segment.duration, limit)
+            if seg_end < seg_start:
+                continue
+            events.append(
+                {
+                    "name": segment.kind,
+                    "cat": "hop",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": seg_start * _MICROS,
+                    "dur": (seg_end - seg_start) * _MICROS,
+                    "args": {
+                        "span": span.span_id,
+                        "src": segment.src,
+                        "dst": segment.dst,
+                    },
+                }
+            )
+        for mark in span.marks:
+            events.append(
+                {
+                    "name": f"span.{mark.kind}",
+                    "cat": "span",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tids.get(mark.node, tid),
+                    "ts": mark.time * _MICROS,
+                    "args": {"span": span.span_id, "detail": mark.detail},
+                }
+            )
+
+    for record in substrate:
+        node = record.payload.get("node") or record.payload.get("src") or ""
+        events.append(
+            {
+                "name": record.name,
+                "cat": "substrate",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tids.get(node, 0),
+                "ts": record.time * _MICROS,
+                "args": dict(record.payload),
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str, runs: Sequence[Tuple[str, Sequence[TraceRecord]]]
+) -> int:
+    """Write a Chrome trace document covering ``runs`` (one pid each).
+
+    ``runs`` is ``[(run_label, records), ...]``; returns the event
+    count.  The whole document is rewritten on every call — trace-event
+    JSON has no append form — so partial invocations stay loadable.
+    """
+    events: List[dict] = []
+    for index, (run, records) in enumerate(runs):
+        events.extend(chrome_trace_events(records, pid=index + 1, run=run))
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+        fh.write("\n")
+    return len(events)

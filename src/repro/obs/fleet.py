@@ -1,0 +1,184 @@
+"""Live fleet progress for the parallel experiment engine.
+
+:class:`FleetProgress` is the engine's completion-side observer: the
+engine calls it as specs are cache-probed, dispatched, and completed,
+and it renders an opt-in status line to stderr (a carriage-return
+heartbeat on a TTY, plain lines otherwise) and/or appends structured
+events to ``engine.events.jsonl`` for offline inspection.
+
+Everything is derived from completion timestamps — ETA is the mean
+completed-run wall time extrapolated over the remaining specs divided
+by the worker count, and utilization is busy worker-seconds over
+elapsed wall-seconds times the worker count — so the display needs no
+cooperation from the workers themselves.
+
+Event names are declared in :data:`FLEET_EVENTS`; simlint rule SL007
+checks every emission site against this registry (a typo'd event name
+fails lint instead of silently forking the schema).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["FLEET_EVENTS", "FleetProgress"]
+
+#: Every event ``engine.events.jsonl`` can contain.
+FLEET_EVENTS = (
+    "fleet.run.start",
+    "fleet.spec.cached",
+    "fleet.spec.start",
+    "fleet.spec.done",
+    "fleet.run.done",
+)
+
+
+class FleetProgress:
+    """Completion-queue observer: status line + engine.events.jsonl.
+
+    Parameters
+    ----------
+    total:
+        Number of specs in the run.
+    jobs:
+        Worker process count (the ETA/utilization denominator).
+    stream:
+        Where the status line goes (``None`` = stderr).  A TTY gets a
+        single ``\\r``-refreshed line; anything else gets one plain
+        line per completion.
+    events_path:
+        Append structured events here as JSON lines (``None`` = off).
+    show:
+        Render the status line at all (the events file is independent).
+    clock:
+        Injectable wall clock for tests (defaults to
+        ``time.perf_counter``).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        jobs: int = 1,
+        stream: Optional[object] = None,
+        events_path: Optional[str] = None,
+        show: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.events_path = events_path
+        if events_path:
+            parent = os.path.dirname(events_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+        self.show = show
+        self.clock = clock
+        self.done = 0
+        self.cached = 0
+        self.running = 0
+        self.completed_walls: List[float] = []
+        self.started_at = clock()
+        self._line_open = False
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def run_started(self, figure: str = "") -> None:
+        self._event(
+            "fleet.run.start",
+            {"figure": figure, "total": self.total, "jobs": self.jobs},
+        )
+
+    def spec_cached(self, label: str) -> None:
+        self.done += 1
+        self.cached += 1
+        self._event("fleet.spec.cached", {"label": label})
+        self._render()
+
+    def spec_started(self, label: str) -> None:
+        self.running += 1
+        self._event("fleet.spec.start", {"label": label})
+        self._render()
+
+    def spec_finished(self, label: str, wall_seconds: float, mode: str) -> None:
+        self.running = max(0, self.running - 1)
+        self.done += 1
+        self.completed_walls.append(wall_seconds)
+        self._event(
+            "fleet.spec.done",
+            {"label": label, "wall_seconds": wall_seconds, "mode": mode},
+        )
+        self._render()
+
+    def run_finished(self) -> None:
+        elapsed = self.clock() - self.started_at
+        self._event(
+            "fleet.run.done",
+            {
+                "done": self.done,
+                "cached": self.cached,
+                "wall_seconds": elapsed,
+                "utilization": self.utilization(),
+            },
+        )
+        if self._line_open:
+            self.stream.write("\n")
+            self._line_open = False
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def eta_seconds(self) -> Optional[float]:
+        """Mean completed wall time over the remaining specs, per worker."""
+        if not self.completed_walls:
+            return None
+        remaining = self.total - self.done
+        mean = sum(self.completed_walls) / len(self.completed_walls)
+        return mean * remaining / self.jobs
+
+    def utilization(self) -> float:
+        """Busy worker-seconds over elapsed capacity (0 when idle)."""
+        elapsed = self.clock() - self.started_at
+        if elapsed <= 0.0:
+            return 0.0
+        return sum(self.completed_walls) / (elapsed * self.jobs)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def _event(self, name: str, payload: dict) -> None:
+        if not self.events_path:
+            return
+        record = {"event": name, "t": self.clock() - self.started_at, **payload}
+        with open(self.events_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record))
+            fh.write("\n")
+
+    def _status_line(self) -> str:
+        parts = [f"fleet {self.done}/{self.total}"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.running:
+            parts.append(f"{self.running} running")
+        eta = self.eta_seconds()
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta {eta:.1f}s")
+        if self.completed_walls:
+            parts.append(f"util {self.utilization():.0%}")
+        return " · ".join(parts)
+
+    def _render(self) -> None:
+        if not self.show:
+            return
+        line = self._status_line()
+        if getattr(self.stream, "isatty", lambda: False)():
+            self.stream.write("\r\x1b[2K" + line)
+            self.stream.flush()
+            self._line_open = True
+        else:
+            self.stream.write(line + "\n")

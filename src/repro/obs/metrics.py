@@ -194,6 +194,28 @@ class _HistogramChild:
         out.append((float("inf"), self.count))
         return out
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile by linear interpolation within buckets.
+
+        Matches Prometheus' ``histogram_quantile``: observations landing
+        in the overflow bucket clamp to the highest finite bound, and an
+        empty histogram has no quantile (``None``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]; got {q!r}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self.counts):
+            if count and running + count >= rank:
+                fraction = (rank - running) / count
+                return lower + (bound - lower) * fraction
+            running += count
+            lower = bound
+        return self.buckets[-1]
+
 
 class Histogram(_Family):
     """Bucketed observations with sum and count."""
@@ -221,9 +243,20 @@ class Histogram(_Family):
             raise ValueError(f"{self.name} has labels; use .labels(...).observe()")
         self.labels().observe(value)
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Quantile of the label-less child (families with no labels only)."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} has labels; use .labels(...).quantile()")
+        return self.labels().quantile(q)
+
 
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (exposition format 0.0.4)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_labels(labels: Dict[str, str]) -> str:
@@ -278,6 +311,64 @@ class MetricsRegistry:
         self._collectors.append(hook)
 
     # ------------------------------------------------------------------
+    # Merge (worker telemetry round-trip)
+    # ------------------------------------------------------------------
+    def merge_snapshot(self, snap: Dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` (possibly from another process) into
+        this registry.
+
+        Counters and histogram buckets/sums add; gauges take the
+        incoming value (last write wins).  Families are created on first
+        sight from the snapshot's declared ``labelnames`` /
+        ``bucket_bounds``; an existing family with a conflicting kind,
+        label set, or bucket layout raises :class:`ValueError`.
+        """
+        for name in sorted(snap):
+            family = snap[name]
+            kind = family["kind"]
+            labelnames = family.get("labelnames")
+            if labelnames is None:
+                samples = family["samples"]
+                labelnames = sorted(samples[0]["labels"]) if samples else []
+            if kind == "counter":
+                target = self.counter(name, family.get("help", ""), labelnames)
+                for sample in family["samples"]:
+                    target.labels(**sample["labels"]).inc(sample["value"])
+            elif kind == "gauge":
+                target = self.gauge(name, family.get("help", ""), labelnames)
+                for sample in family["samples"]:
+                    target.labels(**sample["labels"]).set(sample["value"])
+            elif kind == "histogram":
+                bounds = family.get("bucket_bounds")
+                if bounds is None:
+                    bounds = [
+                        pair[0]
+                        for pair in family["samples"][0]["buckets"]
+                        if pair[0] != float("inf")
+                    ]
+                target = self.histogram(
+                    name, family.get("help", ""), labelnames, buckets=bounds
+                )
+                if list(target.buckets) != list(bounds):
+                    raise ValueError(
+                        f"histogram {name!r} merged with mismatched buckets"
+                    )
+                for sample in family["samples"]:
+                    child = target.labels(**sample["labels"])
+                    running = 0
+                    for index, (_bound, cumulative) in enumerate(sample["buckets"]):
+                        child.counts[index] += cumulative - running
+                        running = cumulative
+                    child.sum += sample["sum"]
+                    child.count += sample["count"]
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"cannot merge metric kind {kind!r}")
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's current state into this one."""
+        self.merge_snapshot(other.snapshot())
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, dict]:
@@ -304,11 +395,15 @@ class MetricsRegistry:
                             ],
                         }
                     )
-            out[name] = {
+            rendered = {
                 "kind": family.kind,
                 "help": family.help,
+                "labelnames": list(family.labelnames),
                 "samples": samples,
             }
+            if family.kind == "histogram":
+                rendered["bucket_bounds"] = list(family.buckets)
+            out[name] = rendered
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -320,7 +415,7 @@ class MetricsRegistry:
         snap = self.snapshot()
         for name, family in snap.items():
             if family["help"]:
-                lines.append(f"# HELP {name} {family['help']}")
+                lines.append(f"# HELP {name} {_escape_help(family['help'])}")
             lines.append(f"# TYPE {name} {family['kind']}")
             for sample in family["samples"]:
                 labels = sample["labels"]

@@ -69,6 +69,9 @@ class TelemetryConfig:
 
     metrics_path: Optional[str] = None
     trace_path: Optional[str] = None
+    #: ``jsonl`` (one record per line) or ``chrome`` (a Chrome
+    #: ``trace_event`` document for chrome://tracing / Perfetto).
+    trace_format: str = "jsonl"
     sample_interval: Optional[float] = None
     profile: bool = False
     #: Wall-clock heartbeat period in seconds (0 = off); requires
@@ -76,6 +79,11 @@ class TelemetryConfig:
     heartbeat: float = 0.0
     #: Stream for profiler reports and heartbeats (None = stderr).
     stream: Optional[object] = None
+    #: In-memory envelope mode: collect metrics/profile into the
+    #: session's ``record`` without writing files or printing reports.
+    #: Pool workers use this to ship telemetry back inside the pickled
+    #: :class:`~repro.exec.summary.RunSummary`.
+    collect: bool = False
     _writer: Optional["TelemetryWriter"] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -86,6 +94,7 @@ class TelemetryConfig:
             or self.trace_path
             or self.sample_interval
             or self.profile
+            or self.collect
         )
 
     def writer(self) -> "TelemetryWriter":
@@ -101,6 +110,7 @@ class TelemetryWriter:
         self.config = config
         self.runs: List[dict] = []
         self._trace_started = False
+        self._trace_runs: List[tuple] = []
 
     def add_run(self, record: dict) -> None:
         self.runs.append(record)
@@ -112,6 +122,16 @@ class TelemetryWriter:
     def append_trace(self, records: Iterable[TraceRecord], run: str) -> int:
         if not self.config.trace_path:
             return 0
+        if self.config.trace_format == "chrome":
+            # Chrome's trace_event container is a single JSON document,
+            # so each run rewrites the whole file (same contract as the
+            # metrics document: a killed invocation stays parseable).
+            from repro.obs.export import write_chrome_trace
+
+            batch = list(records)
+            self._trace_runs.append((run, batch))
+            write_chrome_trace(self.config.trace_path, self._trace_runs)
+            return len(batch)
         mode = "a" if self._trace_started else "w"
         self._trace_started = True
         count = 0
@@ -152,6 +172,9 @@ class TelemetrySession:
         self.recorder = None
         self.sampler = None
         self.profiler = None
+        #: The finalize record (set by :meth:`finalize`); in ``collect``
+        #: mode this is the whole point of the session.
+        self.record: Optional[dict] = None
 
         if config.trace_path:
             # Imported here: experiments.tracelog sits above obs in the
@@ -234,6 +257,11 @@ class TelemetrySession:
             "samples": self.sampler.series_dict() if self.sampler else [],
             "profile": self.profiler.report() if self.profiler else None,
         }
+        self.record = record
+        if self.config.collect:
+            # Envelope mode: the caller ships ``record`` home inside the
+            # RunSummary; no files, no stderr reports from workers.
+            return record
         writer = self.config.writer()
         writer.add_run(record)
         if self.recorder is not None:

@@ -456,6 +456,52 @@ class DirectRunScenarioRule(Rule):
             yield from self._walk(module, child, child_in_loop)
 
 
+class FleetEventRule(Rule):
+    """SL007: fleet/engine event emissions must be declared.
+
+    The fleet observability layer (:mod:`repro.obs.fleet`,
+    ``engine.events.jsonl``) has its own event namespace, emitted
+    through ``_event(...)`` rather than the trace hub, so SL003 never
+    sees it.  Same failure mode though: a typo'd name silently forks
+    the on-disk schema and every downstream consumer (the regress CI
+    job, offline analysis) misses those records.  This rule checks the
+    literal first argument of fleet emission calls in ``obs``/``exec``
+    modules against the declared ``*_EVENTS`` registries
+    (:data:`repro.obs.fleet.FLEET_EVENTS`), and — like SL003 — stays
+    quiet when the scan saw no registry at all.
+    """
+
+    code = "SL007"
+    title = "fleet event names must be declared in FLEET_EVENTS"
+
+    _EMIT_ATTRS = {"_event", "emit_event", "record_event"}
+
+    def applies_to(self, module: Module) -> bool:
+        if "/" not in module.relpath:
+            return True
+        return module.relpath.startswith(("obs/", "exec/"))
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.declared_events:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self._EMIT_ATTRS:
+                continue
+            name, literal = _first_str_arg(node)
+            if literal and name not in ctx.declared_events:
+                yield self._finding(
+                    module,
+                    node,
+                    f"fleet event name {name!r} is not declared in any "
+                    f"event registry (FLEET_EVENTS / *_EVENTS)",
+                )
+
+
 #: The active rule set, in code order.
 ALL_RULES: Sequence[Rule] = (
     WallClockRule(),
@@ -464,6 +510,7 @@ ALL_RULES: Sequence[Rule] = (
     MutableDefaultRule(),
     ScheduleMisuseRule(),
     DirectRunScenarioRule(),
+    FleetEventRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

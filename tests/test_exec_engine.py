@@ -217,6 +217,120 @@ class TestRunCache:
 
 
 # ---------------------------------------------------------------------------
+# Worker telemetry round-trip (fleet observability)
+# ---------------------------------------------------------------------------
+class TestFleetTelemetry:
+    def _engine(self, **kwargs):
+        kwargs.setdefault("use_cache", False)
+        kwargs.setdefault("registry", MetricsRegistry())
+        kwargs.setdefault("collect_telemetry", True)
+        return ExperimentEngine(**kwargs)
+
+    def test_serial_and_parallel_fleet_registries_bit_for_bit(self):
+        specs = [fast_spec(seed=seed) for seed in (1, 2)]
+        serial = self._engine(jobs=1)
+        parallel = self._engine(jobs=4)
+        s = serial.run_specs(specs)
+        p = parallel.run_specs(specs)
+        assert all(x.telemetry is not None for x in s + p)
+        # The merged registries — counters, gauges, histogram buckets —
+        # must be bit-identical between execution modes.
+        assert serial.fleet_registry.to_json() == parallel.fleet_registry.to_json()
+        assert "tactic_router_ops_total" in serial.fleet_registry.snapshot()
+        # exec counters live in the merged parent view for both modes,
+        # and count the same number of executions.
+        merged_s, merged_p = serial.merged_snapshot(), parallel.merged_snapshot()
+
+        def runs(snap):
+            return sum(
+                sample["value"] for sample in snap["exec_runs_total"]["samples"]
+            )
+
+        assert runs(merged_s) == runs(merged_p) == len(specs)
+
+    def test_envelope_metrics_match_in_process_session(self):
+        # The shipped envelope is the same finalize record an in-process
+        # session would produce: bridged router ops equal OpCounters.
+        summary = _execute_spec(fast_spec(), {"profile": False,
+                                              "sample_interval": None})
+        envelope = summary.telemetry
+        assert envelope is not None
+        ops = envelope["metrics"]["tactic_router_ops_total"]["samples"]
+        edge_lookups = sum(
+            s["value"] for s in ops
+            if s["labels"]["role"] == "edge" and s["labels"]["op"] == "bf_lookups"
+        )
+        assert edge_lookups == summary.edge_ops["bf_lookups"]
+        assert envelope["events_executed"] == summary.events_executed
+
+    def test_cache_hit_replays_telemetry_without_executing(
+        self, tmp_path, monkeypatch
+    ):
+        spec = fast_spec()
+        first = self._engine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        original = first.run_specs([spec])
+
+        def explode(_spec, _telemetry_args=None):
+            raise AssertionError("cache hit must not execute the scenario")
+
+        monkeypatch.setattr("repro.exec.engine._execute_spec", explode)
+        second = self._engine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        replayed = second.run_specs([spec])
+        assert replayed[0].cached
+        assert replayed[0].telemetry == original[0].telemetry
+        assert second.fleet_registry.to_json() == first.fleet_registry.to_json()
+
+    def test_cache_counter_parity_across_modes(self, tmp_path):
+        specs = [fast_spec(seed=seed) for seed in (1, 2)]
+        self._engine(jobs=1, use_cache=True, cache_dir=tmp_path).run_specs(specs)
+        serial = self._engine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        serial.run_specs(specs)
+        parallel = self._engine(jobs=4, use_cache=True, cache_dir=tmp_path)
+        parallel.run_specs(specs)
+
+        def cache_events(engine):
+            snap = engine.merged_snapshot()["exec_cache_events_total"]
+            return {
+                tuple(sorted(s["labels"].items())): s["value"]
+                for s in snap["samples"]
+            }
+
+        expected = {(("result", "hit"),): 2}
+        assert cache_events(serial) == cache_events(parallel) == expected
+        assert serial.fleet_registry.to_json() == parallel.fleet_registry.to_json()
+
+    def test_collect_off_ships_no_envelope(self):
+        engine = self._engine(jobs=1, collect_telemetry=False)
+        summaries = engine.run_specs([fast_spec()])
+        assert summaries[0].telemetry is None
+        assert engine.fleet_registry.snapshot() == {}
+
+    def test_env_flag_resolution(self, monkeypatch):
+        from repro.exec.engine import FLEET_TELEMETRY_ENV
+
+        monkeypatch.delenv(FLEET_TELEMETRY_ENV, raising=False)
+        assert ExperimentEngine(registry=MetricsRegistry()).collect_telemetry is None
+        monkeypatch.setenv(FLEET_TELEMETRY_ENV, "1")
+        assert ExperimentEngine(registry=MetricsRegistry()).collect_telemetry is True
+        monkeypatch.setenv(FLEET_TELEMETRY_ENV, "0")
+        assert ExperimentEngine(registry=MetricsRegistry()).collect_telemetry is False
+        engine = ExperimentEngine(registry=MetricsRegistry(),
+                                  collect_telemetry=True)
+        assert engine.collect_telemetry is True
+
+    def test_telemetry_excluded_from_equality_and_metrics(self):
+        with_telemetry = _execute_spec(fast_spec(), {"profile": False,
+                                                     "sample_interval": None})
+        without = _execute_spec(fast_spec())
+        assert with_telemetry == without
+        assert "telemetry" not in without.metrics_dict()
+        restored = RunSummary.from_json_dict(
+            json.loads(json.dumps(with_telemetry.to_json_dict()))
+        )
+        assert restored.telemetry == with_telemetry.telemetry
+
+
+# ---------------------------------------------------------------------------
 # Knob resolution and telemetry
 # ---------------------------------------------------------------------------
 class TestEngineKnobs:

@@ -114,6 +114,136 @@ class TestHistogram:
         assert child.sum == pytest.approx(5.605)
 
 
+class TestQuantile:
+    def _child(self, values, buckets=(0.01, 0.1, 1.0)):
+        registry = MetricsRegistry()
+        child = registry.histogram("lat", buckets=buckets).labels()
+        for value in values:
+            child.observe(value)
+        return child
+
+    def test_empty_histogram_has_no_quantile(self):
+        assert self._child([]).quantile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        child = self._child([0.05])
+        with pytest.raises(ValueError):
+            child.quantile(-0.1)
+        with pytest.raises(ValueError):
+            child.quantile(1.1)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations, all in the (0.01, 0.1] bucket: the median
+        # sits halfway through it by linear interpolation.
+        child = self._child([0.05] * 10)
+        assert child.quantile(0.5) == pytest.approx(0.055)
+        assert child.quantile(1.0) == pytest.approx(0.1)
+
+    def test_overflow_clamps_to_highest_finite_bound(self):
+        # Prometheus convention: quantiles landing in the +Inf bucket
+        # report the highest finite bucket bound.
+        child = self._child([5.0, 5.0, 5.0])
+        assert child.quantile(0.5) == 1.0
+
+    def test_spread_across_buckets(self):
+        child = self._child([0.005, 0.05, 0.5, 5.0])
+        assert child.quantile(0.25) == pytest.approx(0.01)
+        assert child.quantile(0.5) == pytest.approx(0.1)
+
+    def test_labelless_family_shortcut(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0,))
+        histogram.observe(0.5)
+        assert histogram.quantile(1.0) == pytest.approx(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(0.5)
+        labeled = registry.histogram("lat_by", labelnames=("n",), buckets=(1.0,))
+        with pytest.raises(ValueError):
+            labeled.quantile(0.5)
+
+
+class TestMerge:
+    def _snapshot_of(self, fill):
+        registry = MetricsRegistry()
+        fill(registry)
+        return registry.snapshot()
+
+    def test_counters_add(self):
+        merged = MetricsRegistry()
+        merged.counter("ops_total", "", ("node",)).labels(node="a").inc(2)
+        merged.merge_snapshot(self._snapshot_of(
+            lambda r: r.counter("ops_total", "", ("node",)).labels(node="a").inc(3)
+        ))
+        merged.merge_snapshot(self._snapshot_of(
+            lambda r: r.counter("ops_total", "", ("node",)).labels(node="b").inc(1)
+        ))
+        snap = merged.snapshot()["ops_total"]
+        values = {s["labels"]["node"]: s["value"] for s in snap["samples"]}
+        assert values == {"a": 5, "b": 1}
+
+    def test_gauges_take_incoming_value(self):
+        merged = MetricsRegistry()
+        merged.gauge("depth").set(1.0)
+        merged.merge_snapshot(self._snapshot_of(lambda r: r.gauge("depth").set(7.0)))
+        assert merged.snapshot()["depth"]["samples"][0]["value"] == 7.0
+
+    def test_histograms_add_bucketwise(self):
+        def fill(registry):
+            child = registry.histogram("lat", buckets=(0.01, 0.1, 1.0)).labels()
+            for value in (0.005, 0.05, 5.0):
+                child.observe(value)
+
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self._snapshot_of(fill))
+        merged.merge_snapshot(self._snapshot_of(fill))
+        sample = merged.snapshot()["lat"]["samples"][0]
+        assert sample["count"] == 6
+        assert sample["sum"] == pytest.approx(2 * 5.055)
+        assert dict((b, c) for b, c in sample["buckets"]) == {
+            0.01: 2, 0.1: 4, 1.0: 4, math.inf: 6,
+        }
+
+    def test_merge_registry_and_json_round_trip(self):
+        # merge() == merge_snapshot(snapshot()), and a snapshot that
+        # crossed a JSON round-trip (the worker envelope path) merges
+        # identically — including the +Inf bucket bound.
+        source = MetricsRegistry()
+        source.histogram("lat", buckets=(0.1,)).labels().observe(0.5)
+        source.counter("ops_total").inc(4)
+        direct = MetricsRegistry()
+        direct.merge(source)
+        wired = MetricsRegistry()
+        wired.merge_snapshot(json.loads(json.dumps(source.snapshot())))
+        assert direct.to_json() == wired.to_json()
+
+    def test_mismatched_buckets_rejected(self):
+        merged = MetricsRegistry()
+        merged.histogram("lat", buckets=(0.5,))
+        source = MetricsRegistry()
+        source.histogram("lat", buckets=(0.1, 0.5)).labels().observe(0.05)
+        with pytest.raises(ValueError):
+            merged.merge_snapshot(source.snapshot())
+
+    def test_mismatched_kind_rejected(self):
+        merged = MetricsRegistry()
+        merged.gauge("x")
+        source = MetricsRegistry()
+        source.counter("x").inc()
+        with pytest.raises(ValueError):
+            merged.merge_snapshot(source.snapshot())
+
+    def test_merge_order_is_deterministic(self):
+        def fill(registry):
+            registry.counter("b_total").inc()
+            registry.counter("a_total", "", ("k",)).labels(k="z").inc()
+            registry.counter("a_total", "", ("k",)).labels(k="a").inc()
+
+        one = MetricsRegistry()
+        one.merge_snapshot(self._snapshot_of(fill))
+        two = MetricsRegistry()
+        two.merge_snapshot(json.loads(json.dumps(self._snapshot_of(fill))))
+        assert one.to_json() == two.to_json()
+
+
 class TestExport:
     def _populated(self):
         registry = MetricsRegistry()
