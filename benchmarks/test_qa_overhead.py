@@ -126,6 +126,56 @@ def test_fleet_telemetry_off_is_zero_cost():
     assert fleet_off <= fleet_on * NOISE_BOUND
 
 
+def _audit_workload(mode: str, tmp_path=None) -> float:
+    """One scenario run with auditing/flight-recording off or on.
+
+    ``mode`` is ``"off"`` (the default run: ``node.audit`` is ``None``
+    and the trace hub has no subscriber, so every hook is a single
+    attribute check), ``"audit"``, or ``"flightrec"``.
+    """
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.runner import run_scenario
+    from repro.obs.audit import DecisionAudit
+    from repro.obs.flightrec import FlightRecorder
+
+    scenario = Scenario.paper_topology(1, duration=2.0, seed=1, scale=0.1)
+
+    def run() -> None:
+        if mode == "audit":
+            run_scenario(scenario, audit=DecisionAudit())
+        elif mode == "flightrec":
+            run_scenario(scenario, flightrec=FlightRecorder(tmp_path))
+        else:
+            run_scenario(scenario)
+
+    return _best_of(run)
+
+
+def test_audit_off_is_zero_cost(tmp_path):
+    """The decision audit's contract mirrors SimSan's: with no audit
+    attached the routers pay one ``self.audit is not None`` check per
+    enforcement site, so the off state may never cost more than the
+    audited state beyond timer noise."""
+    audit_off = _audit_workload("off")
+    audit_on = _audit_workload("audit")
+    rec_on = _audit_workload("flightrec", tmp_path=tmp_path)
+
+    publish(
+        "audit_overhead",
+        "Decision-audit overhead (best-of-%d wall times)\n" % REPEATS
+        + f"  run_scenario  off={audit_off * 1e3:8.2f} ms   "
+        + f"audit={audit_on * 1e3:8.2f} ms   "
+        + f"audit/off={audit_on / audit_off:5.2f}x\n"
+        + f"  flight rec    on={rec_on * 1e3:8.2f} ms   "
+        + f"rec/off={rec_on / audit_off:5.2f}x",
+    )
+
+    assert audit_off <= audit_on * NOISE_BOUND
+    # The recorder arms the whole trace hub (every emission site fires),
+    # so the plain run must also undercut it.
+    assert audit_off <= rec_on * NOISE_BOUND
+
+
 def test_off_state_run_to_run_stability():
     """The off path's cost is its own noise floor: repeated runs agree
     to well within the margin the zero-cost assertion relies on."""

@@ -239,6 +239,36 @@ def build_parser() -> argparse.ArgumentParser:
         "'python -m repro.obs.history diff' (equivalent to "
         "REPRO_HISTORY_DIR)",
     )
+    audit = parser.add_argument_group(
+        "decision auditing", "access-control decision records, the "
+        "misauthorization oracle, and the flight recorder "
+        "(docs/OBSERVABILITY.md, \"Decision auditing & flight recorder\")"
+    )
+    audit.add_argument(
+        "--audit", action="store_true",
+        help="attach the decision audit to every run without writing a "
+        "report file (equivalent to REPRO_AUDIT=1)",
+    )
+    audit.add_argument(
+        "--audit-out", metavar="PATH", default=None,
+        help="write the fleet-merged audit report (summary + binomial-CI "
+        "check) as JSON; implies --audit (equivalent to REPRO_AUDIT_OUT)",
+    )
+    audit.add_argument(
+        "--flightrec", metavar="DIR", default=None,
+        help="arm the flight recorder; post-mortem bundles land in DIR "
+        "(equivalent to REPRO_FLIGHTREC)",
+    )
+    audit.add_argument(
+        "--flightrec-size", type=int, default=None, metavar="N",
+        help="flight-recorder ring capacity in records (default: 512; "
+        "equivalent to REPRO_FLIGHTREC_SIZE)",
+    )
+    audit.add_argument(
+        "--flightrec-dump", action="store_true",
+        help="force a post-mortem bundle at the end of every run, even "
+        "without a trigger (equivalent to REPRO_FLIGHTREC_DUMP=1)",
+    )
     return parser
 
 
@@ -278,6 +308,18 @@ def main(argv: List[str] = None) -> int:
         os.environ["REPRO_FLEET_METRICS"] = args.fleet_metrics_out
     if args.history_dir:
         os.environ["REPRO_HISTORY_DIR"] = args.history_dir
+    # Decision auditing and the flight recorder follow suit: the runner
+    # and engine read these, and spawned workers inherit them.
+    if args.audit:
+        os.environ["REPRO_AUDIT"] = "1"
+    if args.audit_out:
+        os.environ["REPRO_AUDIT_OUT"] = args.audit_out
+    if args.flightrec:
+        os.environ["REPRO_FLIGHTREC"] = args.flightrec
+    if args.flightrec_size is not None:
+        os.environ["REPRO_FLIGHTREC_SIZE"] = str(args.flightrec_size)
+    if args.flightrec_dump:
+        os.environ["REPRO_FLIGHTREC_DUMP"] = "1"
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):
             print(f"{name:8s} -> repro.experiments.{name}_*")

@@ -83,7 +83,10 @@ class ContentRouterMixin:
 
         # F != 0: the edge vouched; re-validate with probability F.
         data.flag_f = interest.flag_f  # copy the received F (line 13)
-        if self.rng.random() < interest.flag_f:
+        fired = self.rng.random() < interest.flag_f
+        if self.audit is not None:
+            self.audit.note_f_recheck(self, tag, fired, interest.flag_f)
+        if fired:
             valid, verify_delay = self.verify_tag_signature(tag)
             delay += verify_delay
             if not valid:
@@ -109,8 +112,10 @@ class ContentRouterMixin:
         expire.
         """
         self.counters.nacks_issued += 1
+        tag_key = interest.tag.cache_key() if interest.tag is not None else b""
+        if self.audit is not None:
+            self.audit.note_nack(self, tag_key, reason)
         if not self.config.nack_carries_content:
             return
-        tag_key = interest.tag.cache_key() if interest.tag is not None else b""
         data.nack = AttachedNack(tag_key=tag_key, reason=reason)
         self.send(in_face, data, delay)

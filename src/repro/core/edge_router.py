@@ -121,6 +121,9 @@ class EdgeRouter(TacticRouterBase):
         self, interest: Interest, in_face: Face, reason: NackReason, delay: float
     ) -> None:
         self.counters.nacks_issued += 1
+        if self.audit is not None:
+            key = interest.tag.cache_key() if interest.tag is not None else b""
+            self.audit.note_nack(self, key, reason)
         nack = Nack(name=interest.name, reason=reason, nonce=interest.nonce)
         self.send(in_face, nack, delay)
 

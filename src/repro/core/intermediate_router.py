@@ -90,6 +90,8 @@ class IntermediateRouterMixin:
             # data gets the NO_TAG NACK a content router would attach.
             if data.access_level is not None:
                 self.counters.nacks_issued += 1
+                if self.audit is not None:
+                    self.audit.note_nack(self, b"", NackReason.NO_TAG)
                 if not self.config.nack_carries_content:
                     return
                 out.nack = AttachedNack(tag_key=b"", reason=NackReason.NO_TAG)
@@ -102,6 +104,8 @@ class IntermediateRouterMixin:
             if reason is not None:
                 self.counters.precheck_drops += 1
                 self.counters.nacks_issued += 1
+                if self.audit is not None:
+                    self.audit.note_nack(self, record.tag.cache_key(), reason)
                 if not self.config.nack_carries_content:
                     return
                 out.nack = AttachedNack(tag_key=record.tag.cache_key(), reason=reason)
@@ -109,11 +113,15 @@ class IntermediateRouterMixin:
                 return
 
         flag = record.flag_f
-        if flag != 0.0 and self.rng.random() >= flag:
-            # Line 12-13: decide not to re-validate; trust the edge.
-            out.flag_f = flag
-            self.send(record.in_face, out, delay)
-            return
+        if flag != 0.0:
+            fired = self.rng.random() < flag
+            if self.audit is not None:
+                self.audit.note_f_recheck(self, record.tag, fired, flag)
+            if not fired:
+                # Line 12-13: decide not to re-validate; trust the edge.
+                out.flag_f = flag
+                self.send(record.in_face, out, delay)
+                return
 
         # Lines 14-24: F == 0, or the probabilistic re-validation fired.
         valid, verify_delay = self.verify_tag_signature(record.tag)
@@ -124,6 +132,10 @@ class IntermediateRouterMixin:
             self.send(record.in_face, out, delay)
         else:
             self.counters.nacks_issued += 1
+            if self.audit is not None:
+                self.audit.note_nack(
+                    self, record.tag.cache_key(), NackReason.INVALID_SIGNATURE
+                )
             if not self.config.nack_carries_content:
                 return
             out.nack = AttachedNack(

@@ -316,3 +316,7 @@ class Provider(ContentRouterMixin, TacticRouterBase):
         live = [t for t in self.issued_tags.get(user_id, []) if not t.is_expired(now)]
         live.append(tag)
         self.issued_tags[user_id] = live
+        if self.audit is not None:
+            # Ground truth for the decision oracle: only tags recorded
+            # here count as genuinely issued.
+            self.audit.note_issued(tag)

@@ -68,6 +68,11 @@ class TacticRouterBase(Node):
             sizing_fpp=config.bf_sizing_fpp,
         )
         self.counters = OpCounters()
+        #: Decision-audit hook (:class:`repro.obs.audit.DecisionAudit`);
+        #: a single attribute check keeps the off state zero-cost, and
+        #: the hooks never touch the RNG, so audited runs stay
+        #: bit-identical to unaudited ones.
+        self.audit = None
         #: Blacklisted tag cache-keys (explicit-revocation extension).
         #: Checked before the filter and before signature verification,
         #: so a revoked-but-unexpired tag can never be re-admitted.
@@ -86,38 +91,59 @@ class TacticRouterBase(Node):
         path on every request — the behaviour of router-enforced schemes
         without TACTIC's filter caching.
         """
-        if self.revoked_tag_keys and tag.cache_key() in self.revoked_tag_keys:
+        key = tag.cache_key()
+        if self.revoked_tag_keys and key in self.revoked_tag_keys:
+            if self.audit is not None:
+                self.audit.record_decision(
+                    "revoked", self, tag_key=key, outcome="bf_lookup"
+                )
             return False, 0.0
         if not self.config.use_bloom_filters:
             return False, 0.0
         self.counters.bf_lookups += 1
-        found = self.bloom.contains(tag.cache_key())
-        return found, self.compute_delay("bf_lookup")
+        found = self.bloom.contains(key)
+        delay = self.compute_delay("bf_lookup")
+        if self.audit is not None:
+            self.audit.note_bf_lookup(self, key, found, delay)
+        return found, delay
 
     def bf_insert(self, tag: Tag) -> float:
         """Insert a validated tag; handles the saturation auto-reset."""
         if not self.config.use_bloom_filters:
             return 0.0
         self.counters.bf_inserts += 1
-        if self.bloom.insert_with_auto_reset(tag.cache_key()):
+        key = tag.cache_key()
+        reset = self.bloom.insert_with_auto_reset(key)
+        if reset:
             self.counters.note_reset()
+        if self.audit is not None:
+            self.audit.note_bf_insert(self, key, reset)
         return self.compute_delay("bf_insert")
 
     def revoke_tag_key(self, key: bytes) -> None:
         """Blacklist one tag on this node (explicit-revocation hook)."""
         self.revoked_tag_keys.add(key)
+        if self.audit is not None:
+            self.audit.note_revoked(self, key)
 
     def verify_tag_signature(self, tag: Tag) -> Tuple[bool, float]:
         """Full signature verification through the PKI."""
         if self.revoked_tag_keys and tag.cache_key() in self.revoked_tag_keys:
             # Cryptographically valid but administratively dead.
+            if self.audit is not None:
+                self.audit.record_decision(
+                    "revoked", self, tag_key=tag.cache_key(), outcome="sig_verify"
+                )
             return False, 0.0
         self.counters.signature_verifications += 1
         public_key = self.cert_store.try_get_public_key(
             tag.provider_key_locator, now=self.sim.now
         )
         valid = public_key is not None and tag.verify_signature(public_key)
-        return valid, self.compute_delay("signature_verify")
+        delay = self.compute_delay("signature_verify")
+        if self.audit is not None:
+            self.audit.note_sig_verify(self, tag, valid, delay)
+        return valid, delay
 
     def current_flag_value(self) -> float:
         """The F value advertised for a BF hit: this filter's FPP.

@@ -51,6 +51,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.exec.cache import RunCache, cache_key
 from repro.exec.spec import ScenarioSpec
 from repro.exec.summary import RunSummary, summarize
+from repro.obs.audit import AUDIT_ENV, AUDIT_OUT_ENV
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ExecStats", "ExperimentEngine", "resolve_jobs", "run_specs"]
@@ -100,7 +101,9 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _execute_spec(
-    spec: ScenarioSpec, telemetry_args: Optional[Dict[str, Any]] = None
+    spec: ScenarioSpec,
+    telemetry_args: Optional[Dict[str, Any]] = None,
+    audit: bool = False,
 ) -> RunSummary:
     """Run one spec end to end (the worker entry point).
 
@@ -115,6 +118,10 @@ def _execute_spec(
     config when one is installed (so files/streams keep accumulating);
     workers — where no default exists — build a collect-mode config
     that touches no files.
+
+    ``audit`` asks for the decision-audit round-trip: the run attaches
+    a :class:`~repro.obs.audit.DecisionAudit` and its summary travels
+    home in ``summary.audit`` the same way.
     """
     from repro.experiments.runner import run_scenario
 
@@ -138,25 +145,35 @@ def _execute_spec(
                 sample_interval=telemetry_args.get("sample_interval"),
             )
 
-    result = run_scenario(scenario, telemetry=telemetry, sanitizer=sanitizer)
+    auditor = None
+    if audit:
+        from repro.obs.audit import DecisionAudit
+
+        auditor = DecisionAudit()
+
+    result = run_scenario(
+        scenario, telemetry=telemetry, sanitizer=sanitizer, audit=auditor
+    )
     digest = sanitizer.stream_digest() if sanitizer is not None else None
     summary = summarize(
         result, latency_bucket=spec.latency_bucket, event_digest=digest
     )
     if result.telemetry is not None:
         summary.telemetry = result.telemetry.record
+    if result.audit is not None:
+        summary.audit = result.audit.summary()
     summary.wall_seconds = time.perf_counter() - began
     summary.worker_pid = os.getpid()
     return summary
 
 
 def _execute_indexed(
-    payload: Tuple[int, ScenarioSpec, Optional[Dict[str, Any]]]
+    payload: Tuple[int, ScenarioSpec, Optional[Dict[str, Any]], bool]
 ) -> Tuple[int, RunSummary]:
     """Pool adapter: tags each result with its pending-list slot so the
     completion queue (``imap_unordered``) can restore submission order."""
-    slot, spec, telemetry_args = payload
-    return slot, _execute_spec(spec, telemetry_args)
+    slot, spec, telemetry_args, audit = payload
+    return slot, _execute_spec(spec, telemetry_args, audit)
 
 
 @dataclass
@@ -203,6 +220,17 @@ class ExperimentEngine:
         Write :meth:`merged_snapshot` as JSON after every
         :meth:`run_specs` call (``None`` = ``REPRO_FLEET_METRICS`` env,
         else off).
+    audit:
+        Decision-audit round-trip: ``True``/``False`` explicit,
+        ``None`` = ``REPRO_AUDIT`` env, else on automatically whenever
+        ``audit_out`` is set.  Per-run summaries ride home in
+        ``summary.audit`` (cache hits replay them) and fold into
+        :attr:`fleet_audit` in submission order — bit-identical between
+        serial and parallel execution.
+    audit_out:
+        Write the fleet-merged audit report (summary + binomial-CI
+        check + rendered text) as JSON after every :meth:`run_specs`
+        call (``None`` = ``REPRO_AUDIT_OUT`` env, else off).
     stream:
         Progress stream (``None`` = stderr; tests pass a StringIO).
     """
@@ -218,6 +246,8 @@ class ExperimentEngine:
         events_path: Optional[str] = None,
         history_dir: Optional[Any] = None,
         fleet_metrics_path: Optional[str] = None,
+        audit: Optional[bool] = None,
+        audit_out: Optional[str] = None,
         stream: Optional[object] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
@@ -251,6 +281,21 @@ class ExperimentEngine:
             if fleet_metrics_path is not None
             else os.environ.get(FLEET_METRICS_ENV, "").strip() or None
         )
+        self.audit_out = (
+            audit_out
+            if audit_out is not None
+            else os.environ.get(AUDIT_OUT_ENV, "").strip() or None
+        )
+        resolved_audit = audit if audit is not None else _env_flag(AUDIT_ENV)
+        self.audit = (
+            resolved_audit
+            if resolved_audit is not None
+            else self.audit_out is not None
+        )
+        #: Per-run audit summaries folded in submission order — the
+        #: fleet-wide decision-audit view (same determinism contract as
+        #: :attr:`fleet_registry`).
+        self.fleet_audit: Dict[str, Any] = {}
         self.stream = stream
         #: Per-run telemetry envelopes merged in submission order — the
         #: fleet-wide metrics view.  Deterministic: for a fixed seed the
@@ -345,7 +390,7 @@ class ExperimentEngine:
             if workers > 1:
                 mode = "parallel"
                 payloads = [
-                    (slot, spec, telemetry_args)
+                    (slot, spec, telemetry_args, self.audit)
                     for slot, (_, spec, _) in enumerate(pending)
                 ]
                 context = multiprocessing.get_context("spawn")
@@ -369,7 +414,7 @@ class ExperimentEngine:
                 for slot, (_, spec, _) in enumerate(pending):
                     if progress is not None:
                         progress.spec_started(spec.label)
-                    summary = _execute_spec(spec, telemetry_args)
+                    summary = _execute_spec(spec, telemetry_args, self.audit)
                     summaries[slot] = summary
                     if progress is not None:
                         progress.spec_finished(
@@ -383,6 +428,7 @@ class ExperimentEngine:
 
         final = [summary for summary in results if summary is not None]
         self._merge_fleet_telemetry(final, default_config)
+        self._merge_fleet_audit(final)
         wall = time.perf_counter() - began
         if progress is not None:
             progress.run_finished()
@@ -400,6 +446,8 @@ class ExperimentEngine:
             with open(self.fleet_metrics_path, "w", encoding="utf-8") as fh:
                 json.dump(self.merged_snapshot(), fh, indent=2)
                 fh.write("\n")
+        if self.audit_out and self.fleet_audit:
+            self._write_audit_report(figure)
         return final
 
     def _merge_fleet_telemetry(
@@ -421,6 +469,34 @@ class ExperimentEngine:
                 summary.cached or summary.worker_pid != pid
             ):
                 default_config.writer().add_run(envelope)
+
+    def _merge_fleet_audit(self, summaries: Sequence[RunSummary]) -> None:
+        """Fold per-run audit summaries into :attr:`fleet_audit` in
+        submission order — integer tallies are order-free and the float
+        accumulators sum in one fixed order, so serial and ``--jobs N``
+        merges are bit-for-bit identical (cache hits replay their stored
+        summaries the same way)."""
+        if not self.audit:
+            return
+        from repro.obs.audit import merge_audit_summaries
+
+        for summary in summaries:
+            if summary.audit:
+                merge_audit_summaries(self.fleet_audit, summary.audit)
+
+    def _write_audit_report(self, figure: str) -> None:
+        from repro.obs.audit import fp_confidence, render_audit_report
+
+        document = {
+            "figure": figure,
+            "jobs": self.jobs,
+            "summary": self.fleet_audit,
+            "confidence": fp_confidence(self.fleet_audit),
+            "report": render_audit_report(self.fleet_audit),
+        }
+        with open(self.audit_out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
     def merged_snapshot(self) -> Dict[str, dict]:
         """The engine's own exec counters folded together with the
@@ -449,6 +525,7 @@ def run_specs(
     registry: Optional[MetricsRegistry] = None,
     figure: str = "",
     collect_telemetry: Optional[bool] = None,
+    audit: Optional[bool] = None,
 ) -> List[RunSummary]:
     """One-shot convenience over :class:`ExperimentEngine`."""
     engine = ExperimentEngine(
@@ -457,5 +534,6 @@ def run_specs(
         use_cache=use_cache,
         registry=registry,
         collect_telemetry=collect_telemetry,
+        audit=audit,
     )
     return engine.run_specs(specs, figure=figure)

@@ -88,6 +88,10 @@ class RunSummary:
     #: Provenance-adjacent: excluded from equality so telemetered and
     #: untelemetered runs of one spec still compare equal.
     telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    #: The run's decision-audit summary (a :meth:`DecisionAudit.summary`
+    #: dict) when the engine ran with auditing on; ``None`` otherwise.
+    #: Excluded from equality for the same reason as ``telemetry``.
+    audit: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # RunResult-compatible accessors
@@ -217,6 +221,7 @@ class RunSummary:
             "event_digest": self.event_digest,
             "wall_seconds": self.wall_seconds,
             "telemetry": self.telemetry,
+            "audit": self.audit,
         }
 
     @classmethod
@@ -262,6 +267,7 @@ class RunSummary:
             ),
             wall_seconds=float(payload.get("wall_seconds", 0.0)),
             telemetry=payload.get("telemetry"),
+            audit=payload.get("audit"),
         )
 
 

@@ -72,6 +72,12 @@ class RunResult:
     #: The run's :class:`~repro.obs.session.TelemetrySession`, when one
     #: was attached (None for untelemetered runs).
     telemetry: Optional[object] = None
+    #: The run's :class:`~repro.obs.audit.DecisionAudit`, when decision
+    #: auditing was on (None otherwise).
+    audit: Optional[object] = None
+    #: The run's :class:`~repro.obs.flightrec.FlightRecorder`, when one
+    #: was installed (None otherwise).
+    flightrec: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Table IV quantities
@@ -332,6 +338,8 @@ def run_scenario(
     scenario: Scenario,
     telemetry: Optional[object] = None,
     sanitizer: Optional[object] = None,
+    audit: Optional[object] = None,
+    flightrec: Optional[object] = None,
 ) -> RunResult:
     """Assemble and execute one scenario end to end.
 
@@ -341,7 +349,13 @@ def run_scenario(
     is set the run carries no instruments at all.  ``sanitizer``
     installs an explicit :class:`~repro.qa.simsan.SimSan`; when omitted
     one is installed iff ``REPRO_SIMSAN=1`` is set in the environment.
+    ``audit`` attaches an explicit :class:`~repro.obs.audit.
+    DecisionAudit` (env fallback ``REPRO_AUDIT``/``REPRO_AUDIT_OUT``);
+    ``flightrec`` installs an explicit :class:`~repro.obs.flightrec.
+    FlightRecorder` (env fallback ``REPRO_FLIGHTREC``).
     """
+    from repro.obs.audit import maybe_audit
+    from repro.obs.flightrec import maybe_flightrec
     from repro.obs.session import TelemetrySession, current_telemetry
     from repro.qa.simsan import maybe_install
 
@@ -356,6 +370,22 @@ def run_scenario(
     duration = config.duration
     horizon = duration + config.drain_time
 
+    # Decision auditing and the flight recorder attach before any tag
+    # is issued (_seed_stale_tags below feeds the oracle's issued-tag
+    # registry through the provider hook).
+    if audit is None:
+        audit = maybe_audit()
+    if audit is not None:
+        audit.attach(assembly.network)
+    if flightrec is None:
+        flightrec = maybe_flightrec(label=scenario.label or scenario.scheme)
+    if flightrec is not None:
+        flightrec.install(sim, network=assembly.network)
+        if sanitizer is not None:
+            sanitizer.flightrec = flightrec
+        if audit is not None:
+            audit.sink = flightrec.on_decision
+
     telemetry_config = telemetry if telemetry is not None else current_telemetry()
     session = None
     if telemetry_config is not None and telemetry_config.enabled():
@@ -367,6 +397,8 @@ def run_scenario(
             label=scenario.label or scenario.scheme,
             horizon=horizon,
         )
+    if session is not None and audit is not None:
+        session.audit = audit
 
     _seed_stale_tags(assembly)
 
@@ -386,6 +418,8 @@ def run_scenario(
         session.finalize(wall_seconds=wall)
     if sanitizer is not None:
         sanitizer.finish()
+    if flightrec is not None:
+        flightrec.finish()
 
     return RunResult(
         scenario=scenario,
@@ -398,4 +432,6 @@ def run_scenario(
         attackers=assembly.attackers,
         wall_seconds=wall,
         telemetry=session,
+        audit=audit,
+        flightrec=flightrec,
     )

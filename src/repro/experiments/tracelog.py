@@ -37,6 +37,7 @@ KNOWN_EVENTS = (
     "pit.aggregate",
     "cs.hit",
     "link.drop",
+    "audit.decision",
 )
 
 

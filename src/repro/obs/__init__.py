@@ -14,12 +14,20 @@ One package gathers everything a run can tell you about itself:
   (events/sec, per-callback-category time, heap high-water mark);
 - :mod:`repro.obs.session` — the glue: one
   :class:`~repro.obs.session.TelemetrySession` per run, attached by the
-  experiment runner and driven by ``python -m repro`` flags.
+  experiment runner and driven by ``python -m repro`` flags;
+- :mod:`repro.obs.audit` — access-control decision records with a
+  ground-truth oracle labeling each one correct / false-positive /
+  false-negative (the empirical BF-misauthorization report);
+- :mod:`repro.obs.flightrec` — a bounded ring of recent events that
+  dumps a post-mortem bundle on SimSan violations, NACK storms, or on
+  demand.
 
 Everything is off by default; an unconfigured run pays nothing beyond
 a handful of ``None`` checks.
 """
 
+from repro.obs.audit import DECISION_KINDS, DecisionAudit, DecisionRecord
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import SimProfiler
 from repro.obs.samplers import PeriodicSampler
@@ -32,6 +40,10 @@ from repro.obs.session import (
 from repro.obs.spans import SPAN_EVENTS, Span, SpanBuilder, SpanRecorder
 
 __all__ = [
+    "DECISION_KINDS",
+    "DecisionAudit",
+    "DecisionRecord",
+    "FlightRecorder",
     "MetricsRegistry",
     "PeriodicSampler",
     "SimProfiler",

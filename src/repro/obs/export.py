@@ -15,7 +15,12 @@ Perfetto load directly (``--trace-format=chrome``):
   containment invariant holds;
 - marks (serve, pit.wait, drop) and substrate records (rx/tx, cs.hit,
   pit events, link drops) render as instant ("i") events on the track
-  of the node that emitted them.
+  of the node that emitted them;
+- access denials get their own categories so they stand out on the
+  timeline: NACK deliveries (``node.*.nack``, or Data carrying an
+  attached NACK) render under ``cat: "nack"`` with the denial
+  ``reason`` in ``args``, and ``audit.decision`` records render under
+  ``cat: "decision"`` with the decision kind/outcome/oracle label.
 
 Timestamps are virtual-time seconds scaled to microseconds, the unit
 the trace-event spec mandates.
@@ -154,16 +159,24 @@ def chrome_trace_events(
 
     for record in substrate:
         node = record.payload.get("node") or record.payload.get("src") or ""
+        args = dict(record.payload)
+        if record.name == "audit.decision":
+            category = "decision"
+        elif record.name.endswith(".nack") or args.get("nack") is not None:
+            category = "nack"
+            args.setdefault("reason", args.get("nack"))
+        else:
+            category = "substrate"
         events.append(
             {
                 "name": record.name,
-                "cat": "substrate",
+                "cat": category,
                 "ph": "i",
                 "s": "t",
                 "pid": pid,
                 "tid": tids.get(node, 0),
                 "ts": record.time * _MICROS,
-                "args": dict(record.payload),
+                "args": args,
             }
         )
     return events

@@ -89,7 +89,7 @@ class RunHistory:
                     "seed": summary.seed,
                     "cached": summary.cached,
                     "wall_seconds": summary.wall_seconds,
-                    "metrics": summary.metrics_dict(),
+                    "metrics": self._spec_metrics(summary),
                 }
                 for spec, summary in zip(specs, summaries)
             ],
@@ -99,6 +99,19 @@ class RunHistory:
             fh.write(json.dumps(entry, sort_keys=True))
             fh.write("\n")
         return entry
+
+    @staticmethod
+    def _spec_metrics(summary: Any) -> Dict[str, Any]:
+        """The summary's deterministic metrics, with the decision-audit
+        misauthorization rates folded in when auditing was on — so the
+        regression gate also fails on misauthorization drift."""
+        metrics = dict(summary.metrics_dict())
+        audit = getattr(summary, "audit", None)
+        if audit:
+            from repro.obs.audit import audit_metrics
+
+            metrics.update(audit_metrics(audit))
+        return metrics
 
     def _next_sequence(self) -> int:
         entries = self.entries()
@@ -141,6 +154,12 @@ def _values_match(baseline: Any, candidate: Any, rel_tol: float) -> bool:
     if isinstance(baseline, bool) or isinstance(candidate, bool):
         return baseline == candidate
     if isinstance(baseline, (int, float)) and isinstance(candidate, (int, float)):
+        if baseline == 0:
+            # Relative tolerance is meaningless against a zero baseline
+            # (isclose's rel_tol scales with the magnitudes, so any
+            # nonzero candidate would always fail — or, with abs_tol,
+            # always pass).  A zero-baseline counter must stay zero.
+            return candidate == 0
         return math.isclose(baseline, candidate, rel_tol=rel_tol, abs_tol=0.0)
     if isinstance(baseline, (list, tuple)) and isinstance(candidate, (list, tuple)):
         return len(baseline) == len(candidate) and all(

@@ -55,6 +55,10 @@ METRIC_NAMES = (
     "exec_runs_total",
     "exec_cache_events_total",
     "exec_worker_wall_seconds",
+    # Decision auditing (repro.obs.audit via repro.obs.session).
+    "audit_decisions_total",
+    "audit_bf_misauth_rate",
+    "audit_bf_expected_rate",
 )
 
 

@@ -175,6 +175,10 @@ class TelemetrySession:
         #: The finalize record (set by :meth:`finalize`); in ``collect``
         #: mode this is the whole point of the session.
         self.record: Optional[dict] = None
+        #: The run's :class:`~repro.obs.audit.DecisionAudit` (attached
+        #: by the runner when decision auditing is on); its tallies are
+        #: bridged into ``audit_*`` metrics at finalize.
+        self.audit = None
 
         if config.trace_path:
             # Imported here: experiments.tracelog sits above obs in the
@@ -238,6 +242,48 @@ class TelemetrySession:
                 for _, sample in stats.latency_samples:
                     latency.labels().observe(sample)
 
+    def _bridge_audit(self) -> None:
+        """Decision tallies and BF misauthorization rates become
+        labeled counters/gauges (the ``p_fp`` comparison gauge the
+        audit layer exists to report)."""
+        audit = self.audit
+        if audit is None:
+            return
+        summary = audit.summary()
+        decisions = self.registry.counter(
+            "audit_decisions_total",
+            "Access-control decisions by kind/outcome and oracle label",
+            ("node", "role", "kind", "outcome", "label"),
+        )
+        observed = self.registry.gauge(
+            "audit_bf_misauth_rate",
+            "Empirical BF false-positive misauthorization rate per router",
+            ("node",),
+        )
+        expected = self.registry.gauge(
+            "audit_bf_expected_rate",
+            "Theoretical per-router BF false-positive rate (mean p_fp)",
+            ("node",),
+        )
+        for node_id, node in summary["nodes"].items():
+            for key, count in node["decisions"].items():
+                kind, outcome, label = key.split("|")
+                decisions.labels(
+                    node=node_id,
+                    role=node["role"],
+                    kind=kind,
+                    outcome=outcome,
+                    label=label,
+                ).inc(count)
+            lookups = node["bf_negative_lookups"]
+            if lookups:
+                observed.labels(node=node_id).set(
+                    node["bf_false_positives"] / lookups
+                )
+                expected.labels(node=node_id).set(
+                    node["expected_fp_sum"] / lookups
+                )
+
     def finalize(self, wall_seconds: float = 0.0) -> dict:
         """Detach instruments, bridge counters, persist, return the record."""
         if self.profiler is not None:
@@ -248,6 +294,7 @@ class TelemetrySession:
         if self.recorder is not None:
             self.recorder.stop()
         self._bridge_collector()
+        self._bridge_audit()
         record = {
             "label": self.label,
             "wall_seconds": wall_seconds,

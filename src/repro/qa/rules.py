@@ -76,6 +76,9 @@ _CALLBACK_FACTORIES = {"partial", "methodcaller", "attrgetter", "itemgetter"}
 #: Registry variable names recognised by the SL003 collection pass.
 _EVENT_REGISTRY_NAMES = ("KNOWN_EVENTS", "SPAN_EVENTS")
 _METRIC_REGISTRY_NAMES = ("METRIC_NAMES",)
+#: Decision-kind registries recognised for SL008
+#: (:data:`repro.obs.audit.DECISION_KINDS`).
+_DECISION_REGISTRY_NAMES = ("DECISION_KINDS",)
 
 #: Trace-hub methods whose first string argument is an event name.
 _EVENT_CALL_ATTRS = {"emit", "wants", "subscribe", "unsubscribe"}
@@ -141,6 +144,7 @@ class LintContext:
 
     declared_events: Set[str] = field(default_factory=set)
     declared_metrics: Set[str] = field(default_factory=set)
+    declared_decisions: Set[str] = field(default_factory=set)
 
     def merge_registries(self, module: Module) -> None:
         """Collect module-level event/metric name declarations."""
@@ -160,6 +164,8 @@ class LintContext:
                     self.declared_events.update(strings)
                 elif name in _METRIC_REGISTRY_NAMES or name.endswith("_METRICS"):
                     self.declared_metrics.update(strings)
+                elif name in _DECISION_REGISTRY_NAMES:
+                    self.declared_decisions.update(strings)
 
 
 def _collect_strings(node: ast.AST) -> List[str]:
@@ -502,6 +508,57 @@ class FleetEventRule(Rule):
                 )
 
 
+class DecisionKindRule(Rule):
+    """SL008: audit decision kinds must be declared in DECISION_KINDS.
+
+    Every access-control decision enters the audit stream through
+    ``record_decision(kind, ...)`` (:mod:`repro.obs.audit`), and the
+    ``kind`` namespace is the schema of the audit report, the history
+    metrics, and the Chrome-trace decision instants.  A typo'd kind at
+    any call site would silently fork that schema; this rule checks the
+    literal first argument of every ``record_decision`` call against
+    the declared :data:`~repro.obs.audit.DECISION_KINDS` registry, and
+    — like SL003/SL007 — stays quiet when the scan saw no registry.
+    """
+
+    code = "SL008"
+    title = "audit decision kinds must be declared in DECISION_KINDS"
+
+    _CALL_ATTRS = {"record_decision"}
+
+    def applies_to(self, module: Module) -> bool:
+        if "/" not in module.relpath:
+            return True
+        return module.relpath.startswith(("obs/", "core/"))
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.declared_decisions:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self._CALL_ATTRS:
+                continue
+            name, literal = _first_str_arg(node)
+            if not literal:
+                yield self._finding(
+                    module,
+                    node,
+                    "record_decision kind must be a string literal so the "
+                    "decision namespace stays statically checkable",
+                )
+            elif name not in ctx.declared_decisions:
+                yield self._finding(
+                    module,
+                    node,
+                    f"audit decision kind {name!r} is not declared in "
+                    f"DECISION_KINDS (repro.obs.audit)",
+                )
+
+
 #: The active rule set, in code order.
 ALL_RULES: Sequence[Rule] = (
     WallClockRule(),
@@ -511,6 +568,7 @@ ALL_RULES: Sequence[Rule] = (
     ScheduleMisuseRule(),
     DirectRunScenarioRule(),
     FleetEventRule(),
+    DecisionKindRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

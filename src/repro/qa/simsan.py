@@ -137,6 +137,10 @@ class SimSan:
         self._block_hasher = hashlib.blake2b(digest_size=8)
         self._block_digests: List[str] = []
         self._finished = False
+        #: Optional :class:`repro.obs.flightrec.FlightRecorder`; when
+        #: set, the first violation dumps a post-mortem bundle before
+        #: any raise, so the ring survives the abort.
+        self.flightrec: Any = None
 
     # ------------------------------------------------------------------
     # Installation
@@ -405,5 +409,7 @@ class SimSan:
         now = self._sim.now if self._sim is not None else 0.0
         violation = Violation(kind=kind, message=message, time=now)
         self.violations.append(violation)
+        if self.flightrec is not None and len(self.violations) == 1:
+            self.flightrec.dump(f"simsan-{kind}")
         if self.mode == "raise":
             raise SanitizerError(f"[{kind}] t={now:.6f}: {message}")

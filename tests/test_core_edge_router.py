@@ -199,3 +199,77 @@ class TestContentPath:
         net.run()
         assert len(probe.datas) == 2
         assert net.provider.stats.chunks_served == origin_served_before
+
+
+class TestAggregatedNackPath:
+    """Lines 19-23: an attached NACK riding aggregated content affects
+    only the offending PIT record — valid aggregated requesters are
+    still served, and the NACK itself never crosses the edge."""
+
+    def _two_probes(self, net):
+        probes = []
+        for name in ("alice", "mallory"):
+            p = Probe(net.sim, name)
+            net.network.add_node(p, routable=False)
+            net.network.connect(p, net.ap, bandwidth_bps=10e6, latency=0.002)
+            probes.append(p)
+        return probes
+
+    def _forge(self, tag):
+        return type(tag)(
+            provider_key_locator=tag.provider_key_locator,
+            client_key_locator=tag.client_key_locator,
+            access_level=tag.access_level,
+            access_path=tag.access_path,
+            expiry=tag.expiry,
+            signature=b"x" * 32,
+        )
+
+    def _run_aggregated(self, net):
+        """Forged request first (it travels upstream), valid request
+        aggregated behind it at the edge.  Returns (alice, mallory,
+        valid_tag, forged_tag)."""
+        alice, mallory = self._two_probes(net)
+        valid = issue_tag(net, user_id="alice")
+        forged = self._forge(issue_tag(net, user_id="mallory"))
+        name = Name("/prov-0/obj-0/chunk-0")
+        send(net, mallory, Interest(name=name, tag=forged))
+        # Staggered so the forged request is unambiguously first (and
+        # travels upstream) while the valid one aggregates behind it.
+        net.sim.schedule(
+            0.001, alice.faces[0].send, Interest(name=name, tag=valid)
+        )
+        net.run()
+        return alice, mallory, valid, forged
+
+    def test_valid_aggregated_requester_still_served(self, net):
+        alice, mallory, valid, forged = self._run_aggregated(net)
+        # The origin NACKed the forged tag but returned the content
+        # anyway ("to satisfy other possible valid aggregated requests").
+        assert net.provider.counters.nacks_issued == 1
+        assert len(alice.datas) == 1
+        assert alice.datas[0].tag.cache_key() == valid.cache_key()
+
+    def test_nack_hits_only_the_offending_record(self, net):
+        alice, mallory, valid, forged = self._run_aggregated(net)
+        # Lines 19-20: the offender's request is dropped, not answered.
+        assert mallory.datas == []
+        assert mallory.nacks == []
+        assert len(alice.datas) == 1
+
+    def test_nack_never_propagates_past_the_edge(self, net):
+        alice, _, _, _ = self._run_aggregated(net)
+        assert alice.datas[0].nack is None
+
+    def test_only_the_valid_tag_enters_the_edge_filter(self, net):
+        _, _, valid, forged = self._run_aggregated(net)
+        # The aggregated validation (lines 22-23) verified and inserted
+        # the valid tag; the NACKed tag must never be inserted.
+        assert net.edge.bloom.contains(valid.cache_key())
+        assert not net.edge.bloom.contains(forged.cache_key())
+
+    def test_drop_only_ablation_starves_everyone(self, net):
+        net.config.nack_carries_content = False
+        alice, mallory, _, _ = self._run_aggregated(net)
+        assert alice.datas == [] and mallory.datas == []
+        assert net.provider.counters.nacks_issued == 1

@@ -331,6 +331,85 @@ class TestFleetTelemetry:
 
 
 # ---------------------------------------------------------------------------
+# Fleet decision auditing
+# ---------------------------------------------------------------------------
+class TestFleetAudit:
+    def _engine(self, **kwargs):
+        kwargs.setdefault("registry", MetricsRegistry())
+        kwargs.setdefault("use_cache", False)
+        return ExperimentEngine(**kwargs)
+
+    def test_serial_and_parallel_fleet_audit_bit_for_bit(self):
+        specs = [fast_spec(seed=seed) for seed in (1, 2)]
+        serial = self._engine(jobs=1, audit=True)
+        parallel = self._engine(jobs=4, audit=True)
+        first = serial.run_specs(specs)
+        second = parallel.run_specs(specs)
+        assert [s.audit for s in first] == [p.audit for p in second]
+        assert json.dumps(serial.fleet_audit, sort_keys=True) == \
+            json.dumps(parallel.fleet_audit, sort_keys=True)
+        assert serial.fleet_audit["totals"]["decisions"] > 0
+        assert serial.fleet_audit["totals"]["false_positive"] == 0
+
+    def test_cache_hit_replays_audit_summary(self, tmp_path):
+        spec = fast_spec()
+        first = self._engine(jobs=1, use_cache=True, cache_dir=tmp_path,
+                             audit=True)
+        first.run_specs([spec])
+        second = self._engine(jobs=1, use_cache=True, cache_dir=tmp_path,
+                              audit=True)
+        summaries = second.run_specs([spec])
+        assert summaries[0].cached is True
+        assert summaries[0].audit is not None
+        assert second.fleet_audit == first.fleet_audit
+
+    def test_audit_out_writes_fleet_report(self, tmp_path):
+        out = tmp_path / "audit-report.json"
+        engine = self._engine(jobs=1, audit_out=str(out))
+        assert engine.audit is True  # audit_out implies auditing
+        engine.run_specs([fast_spec()], figure="fig6")
+        payload = json.loads(out.read_text())
+        assert payload["figure"] == "fig6"
+        assert payload["summary"]["totals"]["decisions"] > 0
+        assert payload["confidence"]["fleet"]["within_ci"] is True
+        assert any("fleet" in line for line in payload["report"])
+
+    def test_audit_off_by_default(self):
+        engine = self._engine(jobs=1)
+        summaries = engine.run_specs([fast_spec()])
+        assert engine.audit is False
+        assert summaries[0].audit is None
+        assert engine.fleet_audit == {}
+
+    def test_audit_excluded_from_equality_and_metrics(self):
+        audited = _execute_spec(fast_spec(), audit=True)
+        plain = _execute_spec(fast_spec())
+        assert audited == plain
+        assert "audit" not in plain.metrics_dict()
+        restored = RunSummary.from_json_dict(
+            json.loads(json.dumps(audited.to_json_dict()))
+        )
+        assert restored.audit == audited.audit
+
+    def test_env_flag_resolution(self, monkeypatch):
+        from repro.obs.audit import AUDIT_ENV, AUDIT_OUT_ENV
+
+        monkeypatch.delenv(AUDIT_ENV, raising=False)
+        monkeypatch.delenv(AUDIT_OUT_ENV, raising=False)
+        assert ExperimentEngine(registry=MetricsRegistry()).audit is False
+        monkeypatch.setenv(AUDIT_ENV, "1")
+        assert ExperimentEngine(registry=MetricsRegistry()).audit is True
+        monkeypatch.delenv(AUDIT_ENV)
+        monkeypatch.setenv(AUDIT_OUT_ENV, "report.json")
+        engine = ExperimentEngine(registry=MetricsRegistry())
+        assert engine.audit is True
+        assert engine.audit_out == "report.json"
+        # An explicit False wins over the env opt-ins.
+        assert ExperimentEngine(registry=MetricsRegistry(),
+                                audit=False).audit is False
+
+
+# ---------------------------------------------------------------------------
 # Knob resolution and telemetry
 # ---------------------------------------------------------------------------
 class TestEngineKnobs:

@@ -80,6 +80,46 @@ class TestChromeTraceStructure:
         assert "node.rx.interest" in instants
 
 
+class TestDecisionAndNackInstants:
+    def test_audit_decision_categorised_with_args(self):
+        records = [
+            TraceRecord("audit.decision", 0.5,
+                        {"node": "edge-0", "role": "edge",
+                         "decision": "bf_hit", "outcome": "hit",
+                         "label": "correct", "tag": "ab12", "cost": 0.001}),
+        ]
+        events = chrome_trace_events(records, pid=1, run="unit")
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["cat"] == "decision"
+        assert instant["args"]["decision"] == "bf_hit"
+        assert instant["args"]["label"] == "correct"
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert "edge-0" in names  # the decision landed on the node's track
+
+    def test_nack_tx_categorised_with_reason(self):
+        records = [
+            TraceRecord("node.tx.nack", 0.7,
+                        {"node": "edge-0", "reason": "access_path"}),
+        ]
+        events = chrome_trace_events(records, pid=1, run="unit")
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["cat"] == "nack"
+        assert instant["args"]["reason"] == "access_path"
+
+    def test_attached_nack_on_data_categorised(self):
+        records = [
+            TraceRecord("node.tx.data", 0.9,
+                        {"node": "core-0", "nack": "invalid_signature"}),
+            TraceRecord("node.tx.data", 1.0, {"node": "core-0", "nack": None}),
+        ]
+        events = chrome_trace_events(records, pid=1, run="unit")
+        instants = [e for e in events if e["ph"] == "i"]
+        cats = [e["cat"] for e in instants]
+        assert cats == ["nack", "substrate"]
+        assert instants[0]["args"]["reason"] == "invalid_signature"
+
+
 class TestChromeTraceUnits:
     def _records(self):
         return [

@@ -74,6 +74,17 @@ class TestAppendReadRoundTrip:
         engine.run_specs(_specs(1), figure="fig6")
         assert RunHistory(tmp_path).entries() == []
 
+    def test_audit_metrics_folded_into_entry(self, tmp_path):
+        # With auditing on, the misauthorization rates ride the entry's
+        # metrics dict, putting them under the regression gate.
+        engine = ExperimentEngine(jobs=1, use_cache=False,
+                                  history_dir=str(tmp_path), audit=True)
+        engine.run_specs(_specs(1), figure="fig6")
+        metrics = RunHistory(tmp_path).latest("fig6")["specs"][0]["metrics"]
+        assert metrics["audit.decisions_total"] > 0
+        assert metrics["audit.false_positives"] == 0
+        assert any(key.endswith(".bf_misauth_rate") for key in metrics)
+
 
 class TestDiff:
     def _entry(self, tmp_path):
@@ -126,6 +137,25 @@ class TestDiff:
         cand = copy.deepcopy(base)
         cand["specs"][0]["metrics"]["ok"] = 1.0000001
         assert diff_entries(base, cand, rel_tol=0.1) != []
+
+    def test_zero_baseline_admits_no_tolerance(self):
+        # A zero-baseline counter (e.g. audit.false_positives) must stay
+        # zero: rel_tol scales with magnitude, so without this rule any
+        # drift away from 0 would slip through every tolerance.
+        base = {"wall_seconds": 1.0, "specs": [
+            {"fingerprint": "f", "label": "a", "metrics": {"fp": 0}}]}
+        cand = copy.deepcopy(base)
+        cand["specs"][0]["metrics"]["fp"] = 1
+        problems = diff_entries(base, cand, rel_tol=0.5)
+        assert len(problems) == 1 and "drifted" in problems[0]
+
+    def test_zero_baseline_zero_candidate_clean(self):
+        base = {"wall_seconds": 1.0, "specs": [
+            {"fingerprint": "f", "label": "a", "metrics": {"fp": 0}}]}
+        cand = copy.deepcopy(base)
+        cand["specs"][0]["metrics"]["fp"] = 0.0  # int/float zero match
+        assert diff_entries(base, cand, rel_tol=0.5) == []
+        assert diff_entries(base, cand) == []
 
 
 class TestCli:

@@ -421,6 +421,104 @@ class TestFleetEvents:
 
 
 # ---------------------------------------------------------------------------
+# SL008: audit decision kinds
+# ---------------------------------------------------------------------------
+class TestDecisionKinds:
+    REGISTRY = 'DECISION_KINDS = ("bf_hit", "bf_miss", "nack")\n'
+
+    def test_declared_kind_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def note(self, node):\n"
+            + '    self.record_decision("bf_hit", node, outcome="hit")\n',
+        )
+        assert findings == []
+
+    def test_undeclared_kind_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def note(self, node):\n"
+            + '    self.record_decision("bf_hti", node)\n',
+        )
+        assert codes(findings) == ["SL008"]
+        assert "bf_hti" in findings[0].message
+
+    def test_non_literal_kind_flagged(self, tmp_path):
+        # Unlike SL007, a dynamic first argument is itself a finding:
+        # the decision namespace must stay statically checkable.
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def note(self, node, kind):\n"
+            + "    self.record_decision(kind, node)\n",
+            select={"SL008"},
+        )
+        assert codes(findings) == ["SL008"]
+        assert "string literal" in findings[0].message
+
+    def test_registry_in_sibling_module_counts(self, tmp_path):
+        # DECISION_KINDS lives in repro/obs/audit.py; call sites in the
+        # core routers are checked against it cross-file.
+        (tmp_path / "audit.py").write_text(self.REGISTRY)
+        (tmp_path / "router.py").write_text(
+            'def note(self, node):\n    self.record_decision("bogus", node)\n'
+        )
+        findings = lint_paths(
+            [str(tmp_path / "audit.py"), str(tmp_path / "router.py")],
+            select={"SL008"},
+        )
+        assert codes(findings) == ["SL008"]
+
+    def test_quiet_without_any_registry(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            'def note(self, node):\n    self.record_decision("bogus", node)\n',
+            select={"SL008"},
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_exempt(self, tmp_path):
+        pkg = tmp_path / "repro" / "exec"
+        pkg.mkdir(parents=True)
+        (pkg / "engine.py").write_text(
+            self.REGISTRY
+            + 'def note(self, node):\n    self.record_decision("bogus", node)\n'
+        )
+        assert lint_paths([str(pkg / "engine.py")], select={"SL008"}) == []
+
+    def test_core_package_checked(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "router.py").write_text(
+            self.REGISTRY
+            + 'def note(self, node):\n    self.record_decision("typo", node)\n'
+        )
+        assert codes(lint_paths([str(pkg / "router.py")])) == ["SL008"]
+
+    def test_other_calls_ignored(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def note(self, node):\n"
+            + '    self.record("bogus", node)\n',
+            select={"SL008"},
+        )
+        assert findings == []
+
+    def test_suppression_honoured(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def note(self, node):\n"
+            + '    self.record_decision("legacy", node)'
+            + "  # simlint: disable=SL008\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 class TestSuppression:
