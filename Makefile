@@ -30,13 +30,16 @@ determinism:
 bench:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks -q -s
 
-# The repro.exec engine benchmarks only: fan-out speedup + cache
-# round-trip (writes benchmarks/results/BENCH_parallel.json) and the
-# Bloom hot-path micro-benchmarks.  docs/PERFORMANCE.md explains how
-# to read the output.
+# The performance benchmarks only: engine fan-out speedup + cache
+# round-trip (writes BENCH_parallel.json), sim-core throughput with
+# the phase breakdown (writes BENCH_simcore.json + the flamegraph
+# source), and the Bloom hot-path micro-benchmarks.
+# docs/PERFORMANCE.md explains how to read the output.
 perf:
 	PYTHONPATH=src:. $(PYTHON) -m pytest \
-		benchmarks/test_parallel_speedup.py benchmarks/test_bloom_micro.py -q -s
+		benchmarks/test_parallel_speedup.py \
+		benchmarks/test_simcore_throughput.py \
+		benchmarks/test_bloom_micro.py -q -s
 
 # Regression gate: run a tiny two-spec fig6 fleet twice into a fresh
 # history (second pass replays from the run cache, telemetry included),

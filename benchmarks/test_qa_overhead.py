@@ -186,3 +186,42 @@ def test_off_state_run_to_run_stability():
         f"off-state spread over 3 runs: {spread * 100:.1f}% of mean",
     )
     assert spread < 0.5  # pathological-only guard; typical spread is a few %
+
+
+def _perf_workload(observed: bool, events: int = 20_000) -> float:
+    from repro.obs.perf import PerfObservatory
+
+    def run() -> None:
+        sim = Simulator(seed=1)
+        if observed:
+            sim.perf = PerfObservatory()
+        sink = []
+        for i in range(events):
+            sim.schedule(i * 1e-4, sink.append, i)
+        sim.run()
+
+    return _best_of(run)
+
+
+def test_perf_observatory_off_is_zero_cost():
+    """The perf observatory holds the same contract as SimSan: the
+    engine selects its observed loop only when ``sim.perf`` is set (the
+    default loop is untouched), and every component hook is one
+    ``self.perf is not None`` attribute read.  The off state may never
+    cost more than the observed state beyond timer noise, and the
+    observed state — which pays four clock reads per event — must stay
+    within a generous constant factor of the plain loop."""
+    perf_off = _perf_workload(observed=False)
+    perf_on = _perf_workload(observed=True)
+
+    publish(
+        "perf_overhead",
+        "Perf-observatory overhead (best-of-%d wall times)\n" % REPEATS
+        + f"  engine loop   off={perf_off * 1e3:8.2f} ms   "
+        + f"on={perf_on * 1e3:8.2f} ms   on/off={perf_on / perf_off:5.2f}x",
+    )
+
+    assert perf_off <= perf_on * NOISE_BOUND
+    # Sanity bound on the observed mode itself: phase accounting is a
+    # constant per-event cost, not a blowup.
+    assert perf_on <= perf_off * 5.0

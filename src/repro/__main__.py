@@ -209,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=float, default=0.0, metavar="SECONDS",
         help="with --profile: print a liveness pulse every N wall seconds",
     )
+    telemetry.add_argument(
+        "--perf", action="store_true",
+        help="attach the hot-path performance observatory: per-phase "
+        "cost accounting (heap/dispatch/PIT/CS/BF/link/crypto) printed "
+        "per run and merged fleet-wide (docs/PERFORMANCE.md)",
+    )
+    telemetry.add_argument(
+        "--flame-out", metavar="PATH", default=None,
+        help="statistically sample the run and write collapsed stacks "
+        "(Brendan Gregg format) for flamegraph.pl / speedscope",
+    )
+    telemetry.add_argument(
+        "--flame-interval", type=float, default=0.005, metavar="SECONDS",
+        help="stack-sampling period for --flame-out (default: 0.005)",
+    )
     fleet = parser.add_argument_group(
         "fleet observability", "engine-level progress, merged metrics, and "
         "run history (docs/OBSERVABILITY.md, \"Fleet observability\")"
@@ -274,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _telemetry_config(args) -> "TelemetryConfig | None":
     if not (args.metrics_out or args.trace_out or args.sample_interval
-            or args.profile):
+            or args.profile or args.perf or args.flame_out):
         return None
     from repro.obs.session import TelemetryConfig
 
@@ -285,6 +300,9 @@ def _telemetry_config(args) -> "TelemetryConfig | None":
         sample_interval=args.sample_interval,
         profile=args.profile,
         heartbeat=args.heartbeat,
+        perf=args.perf,
+        flame_path=args.flame_out,
+        flame_interval=args.flame_interval,
     )
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.rng import Stream, seeded_stream
 
@@ -53,12 +53,26 @@ class ComputationCostModel:
     """
 
     costs: Dict[str, OpCost] = field(default_factory=dict)
+    #: Optional :class:`~repro.obs.perf.PerfObservatory` (``None`` =
+    #: off); :meth:`sample` charges itself to the ``crypto.cost`` phase
+    #: when set.  Excluded from comparison/repr: it is an instrument,
+    #: not part of the model's identity.  Note PAPER_COST_MODEL is a
+    #: shared module-level instance, which is why uninstall only clears
+    #: hooks still pointing at the departing observatory.
+    perf: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def sample(self, op: str, rng: Stream) -> float:
         cost = self.costs.get(op)
         if cost is None:
             return 0.0
-        return cost.sample(rng)
+        perf = self.perf
+        if perf is None:
+            return cost.sample(rng)
+        began = perf.clock()
+        try:
+            return cost.sample(rng)
+        finally:
+            perf.account("crypto.cost", perf.clock() - began)
 
     def mean(self, op: str) -> float:
         cost = self.costs.get(op)

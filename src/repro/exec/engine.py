@@ -143,6 +143,8 @@ def _execute_spec(
                 collect=True,
                 profile=bool(telemetry_args.get("profile", False)),
                 sample_interval=telemetry_args.get("sample_interval"),
+                perf=bool(telemetry_args.get("perf", False)),
+                flame=bool(telemetry_args.get("flame", False)),
             )
 
     auditor = None
@@ -301,6 +303,12 @@ class ExperimentEngine:
         #: fleet-wide metrics view.  Deterministic: for a fixed seed the
         #: serial and parallel merges are bit-identical.
         self.fleet_registry = MetricsRegistry()
+        #: Fleet-wide perf-observatory view: per-run phase reports
+        #: merged in submission order (counts and seconds sum; see
+        #: :func:`repro.obs.perf.merge_perf_reports`).
+        self.fleet_perf: Dict[str, Any] = {}
+        #: Fleet-wide collapsed flamegraph stacks (sample counts sum).
+        self.fleet_flame: Dict[str, int] = {}
         self.stats = ExecStats()
         self._runs_total = self.registry.counter(
             "exec_runs_total",
@@ -351,6 +359,11 @@ class ExperimentEngine:
                 "profile": default_config.profile if default_config else False,
                 "sample_interval": (
                     default_config.sample_interval if default_config else None
+                ),
+                "perf": default_config.perf if default_config else False,
+                "flame": bool(
+                    default_config
+                    and (default_config.flame or default_config.flame_path)
                 ),
             }
 
@@ -465,10 +478,25 @@ class ExperimentEngine:
             metrics = envelope.get("metrics")
             if metrics:
                 self.fleet_registry.merge_snapshot(metrics)
+            perf = envelope.get("perf")
+            if perf:
+                from repro.obs.perf import merge_perf_reports
+
+                merge_perf_reports(self.fleet_perf, perf)
+            flame = envelope.get("flame")
+            if flame and flame.get("stacks"):
+                from repro.obs.profiler import merge_collapsed
+
+                merge_collapsed(self.fleet_flame, flame["stacks"])
             if default_config is not None and (
                 summary.cached or summary.worker_pid != pid
             ):
                 default_config.writer().add_run(envelope)
+                if flame and flame.get("stacks") and default_config.flame_path:
+                    # Worker stacks reach the --flame-out file through
+                    # the same accumulating writer in-process sessions
+                    # use, so serial and parallel runs converge.
+                    default_config.writer().add_flame(flame["stacks"])
 
     def _merge_fleet_audit(self, summaries: Sequence[RunSummary]) -> None:
         """Fold per-run audit summaries into :attr:`fleet_audit` in

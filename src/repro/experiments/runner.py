@@ -340,6 +340,7 @@ def run_scenario(
     sanitizer: Optional[object] = None,
     audit: Optional[object] = None,
     flightrec: Optional[object] = None,
+    perf: Optional[object] = None,
 ) -> RunResult:
     """Assemble and execute one scenario end to end.
 
@@ -352,7 +353,12 @@ def run_scenario(
     ``audit`` attaches an explicit :class:`~repro.obs.audit.
     DecisionAudit` (env fallback ``REPRO_AUDIT``/``REPRO_AUDIT_OUT``);
     ``flightrec`` installs an explicit :class:`~repro.obs.flightrec.
-    FlightRecorder` (env fallback ``REPRO_FLIGHTREC``).
+    FlightRecorder` (env fallback ``REPRO_FLIGHTREC``).  ``perf``
+    installs an explicit :class:`~repro.obs.perf.PerfObservatory`
+    (benchmarks use this for a tight measurement window: it is
+    installed after any session-created observatory, so it wins, and
+    its start/stop bracket exactly the ``sim.run`` call — which is
+    what makes the phase-coverage figure honest).
     """
     from repro.obs.audit import maybe_audit
     from repro.obs.flightrec import maybe_flightrec
@@ -399,6 +405,8 @@ def run_scenario(
         )
     if session is not None and audit is not None:
         session.audit = audit
+    if perf is not None:
+        perf.install(sim, network=assembly.network)
 
     _seed_stale_tags(assembly)
 
@@ -410,9 +418,14 @@ def run_scenario(
             offset += config.tag_expiry + 0.5  # wait out the stale tag
         attacker.start(at=min(offset, duration), until=duration)
 
+    if perf is not None:
+        perf.start()
     began = time.perf_counter()
     sim.run(until=horizon)
     wall = time.perf_counter() - began
+    if perf is not None:
+        perf.stop()
+        perf.uninstall()
 
     if session is not None:
         session.finalize(wall_seconds=wall)

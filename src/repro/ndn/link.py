@@ -10,7 +10,7 @@ are the defaults provided by :mod:`repro.topology`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.ndn.packets import packet_span_id
 from repro.sim.engine import Simulator
@@ -87,6 +87,10 @@ class Link:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+        #: Optional :class:`~repro.obs.perf.PerfObservatory`; when set,
+        #: ``transmit`` charges itself to the ``ndn.link`` phase
+        #: (``None`` = off, same idiom as the component ``san`` hooks).
+        self.perf: Optional[Any] = None
         node_a.attach_face(self._faces[node_a.node_id])
         node_b.attach_face(self._faces[node_b.node_id])
 
@@ -105,6 +109,13 @@ class Link:
         behaviour responsible for the paper's "minimal amount of network
         packet losses".
         """
+        perf = self.perf
+        if perf is None:
+            return self._transmit(packet, src)
+        with perf.phase("ndn.link"):
+            return self._transmit(packet, src)
+
+    def _transmit(self, packet: object, src: "Node") -> bool:
         if not self.up:
             self.packets_dropped += 1
             self._trace_span_drop(packet, src, "link-down")

@@ -68,6 +68,10 @@ class Pit:
         #: Optional :class:`~repro.qa.simsan.SimSan`; same ``None`` = off
         #: idiom.  Receives record-conservation and occupancy callbacks.
         self.san: Optional[Any] = None
+        #: Optional :class:`~repro.obs.perf.PerfObservatory`; same
+        #: ``None`` = off idiom.  The public find/insert/consume paths
+        #: charge themselves to the ``ndn.pit`` phase when set.
+        self.perf: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -77,6 +81,13 @@ class Pit:
 
     def find(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
         """Return the live entry for ``name``; expired entries are purged."""
+        perf = self.perf
+        if perf is None:
+            return self._find(name, now)
+        with perf.phase("ndn.pit"):
+            return self._find(name, now)
+
+    def _find(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
         name = Name(name)
         entry = self._entries.get(name)
         if entry is None:
@@ -105,11 +116,18 @@ class Pit:
         dropped and ``rejections`` incremented; the requester recovers
         via its request expiry).
         """
+        perf = self.perf
+        if perf is None:
+            return self._insert(name, record, now)
+        with perf.phase("ndn.pit"):
+            return self._insert(name, record, now)
+
+    def _insert(self, name: NameLike, record: PitRecord, now: float) -> bool:
         name = Name(name)
-        entry = self.find(name, now)
+        entry = self._find(name, now)
         if entry is None:
             if self.capacity and len(self._entries) >= self.capacity:
-                self.purge_expired(now)
+                self._purge_expired(now)
                 if len(self._entries) >= self.capacity:
                     self.rejections += 1
                     if self.san is not None:
@@ -133,8 +151,15 @@ class Pit:
 
     def consume(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
         """Remove and return the entry for ``name`` (Data arrival)."""
+        perf = self.perf
+        if perf is None:
+            return self._consume(name, now)
+        with perf.phase("ndn.pit"):
+            return self._consume(name, now)
+
+    def _consume(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
         name = Name(name)
-        entry = self.find(name, now)
+        entry = self._find(name, now)
         if entry is not None:
             del self._entries[name]
             if self.san is not None:
@@ -149,6 +174,15 @@ class Pit:
         Used by edge routers on NACK arrival: "rE drops the request with
         Tu from its PIT" (Protocol 2, lines 19-20).
         """
+        perf = self.perf
+        if perf is None:
+            return self._drop_record(name, predicate)
+        with perf.phase("ndn.pit"):
+            return self._drop_record(name, predicate)
+
+    def _drop_record(
+        self, name: NameLike, predicate: Callable[[PitRecord], bool]
+    ) -> int:
         name = Name(name)
         entry = self._entries.get(name)
         if entry is None:
@@ -164,6 +198,13 @@ class Pit:
 
     def purge_expired(self, now: float) -> int:
         """Drop every expired entry; returns number of records dropped."""
+        perf = self.perf
+        if perf is None:
+            return self._purge_expired(now)
+        with perf.phase("ndn.pit"):
+            return self._purge_expired(now)
+
+    def _purge_expired(self, now: float) -> int:
         dead = [name for name, e in self._entries.items() if now > e.expires_at]
         dropped = 0
         for name in dead:

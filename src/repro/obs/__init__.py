@@ -11,7 +11,13 @@ One package gathers everything a run can tell you about itself:
   state (PIT occupancy, CS hit ratio, Bloom-filter fill, link queues,
   pending events);
 - :mod:`repro.obs.profiler` — a wall-clock profiler for the event loop
-  (events/sec, per-callback-category time, heap high-water mark);
+  (events/sec, per-callback-category time, heap high-water mark) plus
+  a statistical stack sampler emitting collapsed-stack flamegraph
+  input;
+- :mod:`repro.obs.perf` — the hot-path performance observatory:
+  nestable phase accounting over the engine and the NDN fast path
+  (heap ops, dispatch, PIT/CS/Bloom/link/crypto), the source of
+  ``BENCH_simcore.json``'s per-phase breakdown;
 - :mod:`repro.obs.session` — the glue: one
   :class:`~repro.obs.session.TelemetrySession` per run, attached by the
   experiment runner and driven by ``python -m repro`` flags;
@@ -29,7 +35,7 @@ a handful of ``None`` checks.
 from repro.obs.audit import DECISION_KINDS, DecisionAudit, DecisionRecord
 from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.profiler import SimProfiler
+from repro.obs.profiler import SimProfiler, StackSampler, merge_collapsed
 from repro.obs.samplers import PeriodicSampler
 from repro.obs.session import (
     TelemetryConfig,
@@ -39,15 +45,34 @@ from repro.obs.session import (
 )
 from repro.obs.spans import SPAN_EVENTS, Span, SpanBuilder, SpanRecorder
 
+_PERF_EXPORTS = ("PERF_PHASES", "PerfObservatory", "merge_perf_reports")
+
+
+def __getattr__(name):
+    # repro.obs.perf is imported lazily (like repro.obs.history) so its
+    # ``python -m repro.obs.perf`` CLI runs without runpy's
+    # already-in-sys.modules warning.
+    if name in _PERF_EXPORTS:
+        from repro.obs import perf
+
+        return getattr(perf, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "DECISION_KINDS",
     "DecisionAudit",
     "DecisionRecord",
     "FlightRecorder",
     "MetricsRegistry",
+    "PERF_PHASES",
+    "PerfObservatory",
     "PeriodicSampler",
     "SimProfiler",
+    "StackSampler",
     "SPAN_EVENTS",
+    "merge_collapsed",
+    "merge_perf_reports",
     "Span",
     "SpanBuilder",
     "SpanRecorder",

@@ -94,6 +94,50 @@ class RunHistory:
                 for spec, summary in zip(specs, summaries)
             ],
         }
+        return self._append_entry(entry)
+
+    def append_benchmark(
+        self,
+        figure: str,
+        label: str,
+        metrics: Dict[str, Any],
+        wall_seconds: float,
+        timestamp: Optional[float] = None,
+    ) -> dict:
+        """Record one benchmark datapoint as a synthetic one-spec entry.
+
+        Benchmarks (``benchmarks/test_simcore_throughput.py``) have no
+        :class:`~repro.exec.spec.ScenarioSpec`, so the fingerprint is a
+        BLAKE2 of the benchmark label — stable across runs, which is
+        all ``diff`` needs to pair entries.  The metrics dict typically
+        carries ``events_per_sec`` and friends; gate with
+        ``python -m repro.obs.history diff --figure <figure>
+        --tolerance <rel>``.
+        """
+        fingerprint = hashlib.blake2b(
+            label.encode("utf-8"), digest_size=12
+        ).hexdigest()
+        entry = {
+            "sequence": self._next_sequence(),
+            "timestamp": time.time() if timestamp is None else timestamp,
+            "figure": figure,
+            "jobs": 1,
+            "wall_seconds": wall_seconds,
+            "specs": [
+                {
+                    "fingerprint": fingerprint,
+                    "label": label,
+                    "scheme": "benchmark",
+                    "seed": 0,
+                    "cached": False,
+                    "wall_seconds": wall_seconds,
+                    "metrics": dict(metrics),
+                }
+            ],
+        }
+        return self._append_entry(entry)
+
+    def _append_entry(self, entry: dict) -> dict:
         self.directory.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(entry, sort_keys=True))

@@ -1,0 +1,475 @@
+"""The hot-path performance observatory: phase-attributed cost accounting.
+
+ROADMAP item 1 asks for a ≥10× event-throughput overhaul; this module
+is its yardstick.  A :class:`PerfObservatory` turns the sim core from a
+black box into a phase-attributed cost model: the engine's observed run
+loop charges heap pushes/pops, event dispatch, and per-handler-kind
+execution to named *phases*, and the NDN hot path (PIT, content store,
+Bloom filters, link serialization, the crypto cost model, trace
+emission) charges itself to component phases via the same guard-gated
+hooks the sanitizer and flight recorder use — one ``x is not None``
+attribute read when disabled, nothing else.
+
+Accounting is *nestable*: a phase entered inside another phase (Bloom
+lookups inside a dispatched handler, a heap push inside link
+serialization) subtracts its elapsed time from the parent's **self**
+time while both keep their **cumulative** time, so the per-phase self
+times partition the observed wall clock — they sum to the loop wall
+time, which is what makes the ``BENCH_simcore.json`` breakdown truthful
+rather than double-counted.
+
+Phase names are compile-time constants declared in :data:`PERF_PHASES`
+and linted by simlint rule SL009, the same literals-only discipline as
+trace events (SL003) and metric names (SL007).
+
+The module also carries the benchmark diff CLI::
+
+    python -m repro.obs.perf report BENCH_A.json BENCH_B.json --tolerance 10
+
+which prints per-phase deltas between two benchmark documents and exits
+nonzero when throughput regressed beyond the tolerance — the local twin
+of the CI history gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Every phase name the observatory may be charged with.  simlint SL009
+#: enforces that ``perf.phase(...)`` / ``perf.account(...)`` call sites
+#: use literals drawn from this registry, so the taxonomy below is the
+#: complete vocabulary of ``BENCH_simcore.json``:
+#:
+#: - ``engine.loop``      — the whole observed run loop (the envelope;
+#:   its *cumulative* time is the loop wall time, its *self* time is
+#:   scheduler bookkeeping not attributed to any finer phase).
+#: - ``engine.pop``       — heap pops: cancelled-event skips and the
+#:   dequeue of each dispatched event.
+#: - ``engine.push``      — ``schedule_at`` heap pushes.
+#: - ``engine.dispatch``  — event callback execution (split further by
+#:   handler ``__qualname__`` in the report's handler table).
+#: - ``trace.emit``       — trace-hub record construction + delivery.
+#: - ``ndn.pit``          — PIT find/insert/consume/purge.
+#: - ``ndn.cs``           — content-store lookup/insert (incl. LRU).
+#: - ``ndn.link``         — link serialization/transmission.
+#: - ``filters.bloom``    — Bloom-filter membership/insert/reset ops.
+#: - ``crypto.cost``      — crypto cost-model sampling.
+PERF_PHASES = (
+    "engine.loop",
+    "engine.pop",
+    "engine.push",
+    "engine.dispatch",
+    "trace.emit",
+    "ndn.pit",
+    "ndn.cs",
+    "ndn.link",
+    "filters.bloom",
+    "crypto.cost",
+)
+
+
+def _handler_category(callback: Callable) -> str:
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+class _PhaseHandle:
+    """A reusable context manager for one phase name.
+
+    Handles are cached per name in the observatory (phase state lives
+    on the observatory's stack, not on the handle), so ``with
+    perf.phase("ndn.pit"):`` costs one dict hit plus the push/pop — no
+    allocation per entry.
+    """
+
+    __slots__ = ("_obs", "_name")
+
+    def __init__(self, obs: "PerfObservatory", name: str) -> None:
+        self._obs = obs
+        self._name = name
+
+    def __enter__(self) -> "_PhaseHandle":
+        self._obs._push(self._name)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._obs._pop()
+        return False
+
+
+class PerfObservatory:
+    """Nestable phase accounting over one observed simulation window.
+
+    Attach with :meth:`install` (or set ``sim.perf`` directly for
+    engine-only accounting); the engine then routes ``run()``/``step()``
+    through its observed loop.  :meth:`start`/:meth:`stop` bracket the
+    measured wall-clock window used for ``events_per_second`` and the
+    phase-coverage figure.
+
+    Parameters
+    ----------
+    clock:
+        Injectable time source (tests pass a fake); components route
+        their timing through ``perf.clock`` so sim-affecting modules
+        never call :func:`time.perf_counter` themselves (SL001).
+    timeline_interval:
+        When > 0, snapshot cumulative per-phase seconds every N events
+        into :attr:`timeline` — the source data for the Chrome-trace
+        counter tracks (wall cost per slice of *virtual* time).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        timeline_interval: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.timeline_interval = timeline_interval
+        self.calls: Dict[str, int] = {}
+        self.self_seconds: Dict[str, float] = {}
+        self.cum_seconds: Dict[str, float] = {}
+        self.handler_calls: Dict[str, int] = {}
+        self.handler_seconds: Dict[str, float] = {}
+        self.events = 0
+        #: ``(virtual_time, events_executed, {phase: cum_seconds})``
+        #: snapshots, one every ``timeline_interval`` events.
+        self.timeline: List[Tuple[float, int, Dict[str, float]]] = []
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        # Each frame is a mutable [name, start, child_elapsed] triple.
+        self._stack: List[list] = []
+        self._handles: Dict[str, _PhaseHandle] = {}
+        self._installed: List[Tuple[Any, str]] = []
+
+    # ------------------------------------------------------------------
+    # Accounting hooks (the hot side)
+    # ------------------------------------------------------------------
+    def phase(self, name: str) -> _PhaseHandle:
+        """Context manager charging its body to ``name`` (nestable)."""
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = self._handles[name] = _PhaseHandle(self, name)
+        return handle
+
+    def _push(self, name: str) -> None:
+        self._stack.append([name, self.clock(), 0.0])
+
+    def _pop(self, handler: Optional[Callable] = None) -> float:
+        """Close the innermost phase; returns its elapsed seconds.
+
+        ``handler`` additionally attributes the elapsed time to the
+        callback's ``__qualname__`` in the handler table (the engine
+        passes the dispatched event's callback here).
+        """
+        name, start, child = self._stack.pop()
+        elapsed = self.clock() - start
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.cum_seconds[name] = self.cum_seconds.get(name, 0.0) + elapsed
+        self.self_seconds[name] = (
+            self.self_seconds.get(name, 0.0) + elapsed - child
+        )
+        if self._stack:
+            self._stack[-1][2] += elapsed
+        if handler is not None:
+            category = _handler_category(handler)
+            self.handler_calls[category] = self.handler_calls.get(category, 0) + 1
+            self.handler_seconds[category] = (
+                self.handler_seconds.get(category, 0.0) + elapsed
+            )
+        return elapsed
+
+    def account(self, name: str, elapsed: float) -> None:
+        """Charge a pre-measured leaf interval to ``name``.
+
+        The cheap alternative to :meth:`phase` for call sites that
+        already hold two clock reads (heap pushes, Bloom probes): the
+        elapsed time lands in both self and cumulative for ``name`` and
+        is subtracted from the enclosing phase's self time.  Leaf only —
+        an ``account`` interval must not contain another accounted or
+        phased interval, or the parent would be debited twice.
+        """
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.cum_seconds[name] = self.cum_seconds.get(name, 0.0) + elapsed
+        self.self_seconds[name] = self.self_seconds.get(name, 0.0) + elapsed
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    def note_event(self, now: float) -> None:
+        """Count one dispatched event; snapshot the timeline when due."""
+        self.events += 1
+        interval = self.timeline_interval
+        if interval and self.events % interval == 0:
+            self.timeline.append((now, self.events, dict(self.cum_seconds)))
+
+    # ------------------------------------------------------------------
+    # Window control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.started_at = self.clock()
+
+    def stop(self) -> None:
+        self.stopped_at = self.clock()
+
+    def wall_seconds(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else self.clock()
+        return max(0.0, end - self.started_at)
+
+    def events_per_second(self) -> float:
+        wall = self.wall_seconds()
+        return self.events / wall if wall > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def _attach(self, obj: Any, attr: str = "perf") -> None:
+        if getattr(obj, attr, None) is self:
+            return
+        setattr(obj, attr, self)
+        self._installed.append((obj, attr))
+
+    def install(self, sim: Any, network: Any = None) -> None:
+        """Attach to the engine, trace hub, and (when ``network`` is
+        given) every node's PIT / content store / Bloom filter / cost
+        model and every link — the full hot-path surface."""
+        self._attach(sim)
+        self._attach(sim.trace)
+        if network is None:
+            return
+        for node in network.nodes.values():
+            for attr in ("pit", "cs", "bloom", "cost_model"):
+                component = getattr(node, attr, None)
+                if component is not None and hasattr(component, "perf"):
+                    self._attach(component)
+        for link in network.links:
+            self._attach(link)
+
+    def uninstall(self) -> None:
+        """Detach from everything :meth:`install` touched.
+
+        Only clears attributes that still point at *this* observatory,
+        so a later re-install (or a competing explicit observatory) is
+        never clobbered.
+        """
+        for obj, attr in self._installed:
+            if getattr(obj, attr, None) is self:
+                setattr(obj, attr, None)
+        self._installed = []
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, top_handlers: int = 20) -> dict:
+        """JSON-serializable summary of the observed window."""
+        wall = self.wall_seconds()
+        self_sum = sum(self.self_seconds.values())
+        denominator = self_sum or 1.0
+        phases = {
+            name: {
+                "calls": self.calls.get(name, 0),
+                "self_seconds": self.self_seconds.get(name, 0.0),
+                "cum_seconds": self.cum_seconds.get(name, 0.0),
+                "self_share": self.self_seconds.get(name, 0.0) / denominator,
+            }
+            for name in sorted(
+                self.self_seconds, key=lambda n: self.self_seconds[n], reverse=True
+            )
+        }
+        handler_total = sum(self.handler_seconds.values()) or 1.0
+        ranked = sorted(
+            self.handler_seconds, key=lambda c: self.handler_seconds[c], reverse=True
+        )
+        if top_handlers:
+            ranked = ranked[:top_handlers]
+        return {
+            "events": self.events,
+            "wall_seconds": wall,
+            "events_per_second": self.events_per_second(),
+            "phases": phases,
+            "phase_self_sum_seconds": self_sum,
+            # Fraction of the observed wall window the phase self times
+            # explain; ≥0.9 is the BENCH_simcore acceptance bar.  Can
+            # nudge past 1.0 when accounting happened outside the
+            # start/stop window (e.g. scenario-setup schedules).
+            "phase_coverage": (self_sum / wall) if wall > 0 else 0.0,
+            "handlers": [
+                {
+                    "handler": category,
+                    "calls": self.handler_calls[category],
+                    "seconds": self.handler_seconds[category],
+                    "share": self.handler_seconds[category] / handler_total,
+                }
+                for category in ranked
+            ],
+            "timeline": [
+                [t, n, dict(cum)] for t, n, cum in self.timeline
+            ],
+        }
+
+    def render(self, top_handlers: int = 10) -> str:
+        """Human-readable phase + handler tables for terminal output."""
+        data = self.report(top_handlers=top_handlers)
+        lines = [
+            f"observed {data['events']} events in {data['wall_seconds']:.3f}s wall "
+            f"({data['events_per_second']:,.0f} events/sec), "
+            f"phase coverage {data['phase_coverage']:.1%}",
+            f"{'phase':<18} {'calls':>10} {'self s':>9} {'cum s':>9} {'share':>6}",
+        ]
+        for name, row in data["phases"].items():
+            lines.append(
+                f"{name:<18} {row['calls']:>10} {row['self_seconds']:>9.4f} "
+                f"{row['cum_seconds']:>9.4f} {row['self_share']:>5.1%}"
+            )
+        if data["handlers"]:
+            lines.append(f"{'handler':<40} {'calls':>10} {'seconds':>9} {'share':>6}")
+            for row in data["handlers"]:
+                lines.append(
+                    f"{row['handler']:<40.40} {row['calls']:>10} "
+                    f"{row['seconds']:>9.4f} {row['share']:>5.1%}"
+                )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fleet merging (PR 4 style: workers ship reports home in the
+# RunSummary telemetry envelope; the engine folds them together)
+# ----------------------------------------------------------------------
+def merge_perf_reports(into: dict, report: dict) -> dict:
+    """Fold one :meth:`PerfObservatory.report` dict into an accumulator.
+
+    Counts and seconds sum; shares, throughput, and coverage are
+    recomputed from the merged totals.  Timelines are per-run and are
+    dropped.  ``into`` starts as ``{}`` and is mutated in place.
+    """
+    into["events"] = into.get("events", 0) + report.get("events", 0)
+    into["wall_seconds"] = into.get("wall_seconds", 0.0) + report.get(
+        "wall_seconds", 0.0
+    )
+    phases = into.setdefault("phases", {})
+    for name, row in (report.get("phases") or {}).items():
+        merged = phases.setdefault(
+            name, {"calls": 0, "self_seconds": 0.0, "cum_seconds": 0.0}
+        )
+        merged["calls"] += row.get("calls", 0)
+        merged["self_seconds"] += row.get("self_seconds", 0.0)
+        merged["cum_seconds"] += row.get("cum_seconds", 0.0)
+    handlers = into.setdefault("handlers", {})
+    for row in report.get("handlers") or []:
+        merged = handlers.setdefault(row["handler"], {"calls": 0, "seconds": 0.0})
+        merged["calls"] += row.get("calls", 0)
+        merged["seconds"] += row.get("seconds", 0.0)
+    wall = into["wall_seconds"]
+    self_sum = sum(row["self_seconds"] for row in phases.values())
+    into["phase_self_sum_seconds"] = self_sum
+    into["phase_coverage"] = (self_sum / wall) if wall > 0 else 0.0
+    into["events_per_second"] = (into["events"] / wall) if wall > 0 else 0.0
+    denominator = self_sum or 1.0
+    for row in phases.values():
+        row["self_share"] = row["self_seconds"] / denominator
+    return into
+
+
+# ----------------------------------------------------------------------
+# Benchmark diffing CLI: python -m repro.obs.perf report A.json B.json
+# ----------------------------------------------------------------------
+def _events_per_sec(doc: dict) -> Optional[float]:
+    """Throughput from either a BENCH_simcore.json document
+    (``events_per_sec``) or a raw observatory report
+    (``events_per_second``)."""
+    for key in ("events_per_sec", "events_per_second"):
+        value = doc.get(key)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def compare_reports(
+    baseline: dict, candidate: dict, tolerance_pct: float = 10.0
+) -> Tuple[List[str], List[str]]:
+    """Diff two benchmark documents.
+
+    Returns ``(problems, lines)``: ``problems`` is non-empty when the
+    candidate's throughput regressed beyond ``tolerance_pct`` percent;
+    ``lines`` is the rendered per-phase delta table.
+    """
+    lines: List[str] = []
+    problems: List[str] = []
+    base_eps = _events_per_sec(baseline)
+    cand_eps = _events_per_sec(candidate)
+    if base_eps is not None and cand_eps is not None:
+        delta = (cand_eps / base_eps - 1.0) * 100.0 if base_eps else 0.0
+        lines.append(
+            f"events/sec: {base_eps:,.0f} -> {cand_eps:,.0f} ({delta:+.1f}%)"
+        )
+        if base_eps > 0 and cand_eps < base_eps * (1.0 - tolerance_pct / 100.0):
+            problems.append(
+                f"throughput regressed {-delta:.1f}% "
+                f"(tolerance {tolerance_pct:.1f}%)"
+            )
+    else:
+        problems.append("missing events_per_sec in one or both documents")
+    base_phases = baseline.get("phases") or {}
+    cand_phases = candidate.get("phases") or {}
+    names = sorted(set(base_phases) | set(cand_phases))
+    if names:
+        lines.append(
+            f"{'phase':<18} {'base self s':>12} {'cand self s':>12} {'delta':>8}"
+        )
+        for name in names:
+            base_self = (base_phases.get(name) or {}).get("self_seconds", 0.0)
+            cand_self = (cand_phases.get(name) or {}).get("self_seconds", 0.0)
+            if base_self > 0:
+                delta_text = f"{(cand_self / base_self - 1.0) * 100.0:+.1f}%"
+            else:
+                delta_text = "new" if cand_self > 0 else "-"
+            lines.append(
+                f"{name:<18} {base_self:>12.4f} {cand_self:>12.4f} {delta_text:>8}"
+            )
+    return problems, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.perf",
+        description="Diff sim-core benchmark documents (BENCH_simcore.json).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="diff two benchmark documents, phase by phase"
+    )
+    report.add_argument("baseline", help="baseline benchmark JSON")
+    report.add_argument("candidate", help="candidate benchmark JSON")
+    report.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="max allowed events/sec regression in percent (default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        with open(args.candidate, "r", encoding="utf-8") as fh:
+            candidate = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems, lines = compare_reports(
+        baseline, candidate, tolerance_pct=args.tolerance
+    )
+    for line in lines:
+        print(line)
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -74,6 +74,17 @@ class TelemetryConfig:
     trace_format: str = "jsonl"
     sample_interval: Optional[float] = None
     profile: bool = False
+    #: Attach the :class:`~repro.obs.perf.PerfObservatory` (phase-level
+    #: hot-path accounting; the ``--perf`` flag).
+    perf: bool = False
+    #: Collapsed-stack output path for the statistical sampler (the
+    #: ``--flame-out`` flag); setting it implies sampling.
+    flame_path: Optional[str] = None
+    #: Sample without writing a file — collect mode uses this so worker
+    #: stacks ride the telemetry envelope home.
+    flame: bool = False
+    #: Stack-sampling period in seconds.
+    flame_interval: float = 0.005
     #: Wall-clock heartbeat period in seconds (0 = off); requires
     #: ``profile`` since the pulse rides the profiled loop.
     heartbeat: float = 0.0
@@ -94,6 +105,9 @@ class TelemetryConfig:
             or self.trace_path
             or self.sample_interval
             or self.profile
+            or self.perf
+            or self.flame_path
+            or self.flame
             or self.collect
         )
 
@@ -111,6 +125,7 @@ class TelemetryWriter:
         self.runs: List[dict] = []
         self._trace_started = False
         self._trace_runs: List[tuple] = []
+        self._flame_stacks: dict = {}
 
     def add_run(self, record: dict) -> None:
         self.runs.append(record)
@@ -119,7 +134,28 @@ class TelemetryWriter:
                 json.dump({"runs": self.runs}, fh, indent=2)
                 fh.write("\n")
 
-    def append_trace(self, records: Iterable[TraceRecord], run: str) -> int:
+    def add_flame(self, stacks: dict) -> None:
+        """Merge one run's collapsed stacks and rewrite the flame file
+        (counts sum across runs, the natural flamegraph aggregation)."""
+        from repro.obs.profiler import merge_collapsed, write_collapsed
+
+        merge_collapsed(self._flame_stacks, stacks)
+        if self.config.flame_path:
+            write_collapsed(self.config.flame_path, self._flame_stacks)
+
+    def append_trace(
+        self,
+        records: Iterable[TraceRecord],
+        run: str,
+        counters: Optional[list] = None,
+    ) -> int:
+        """Persist one run's trace records.
+
+        ``counters`` optionally carries the perf observatory's timeline
+        (``(virtual_time, events, {phase: cum_seconds})`` snapshots);
+        the chrome format renders it as counter tracks alongside the
+        event slices, the jsonl format ignores it.
+        """
         if not self.config.trace_path:
             return 0
         if self.config.trace_format == "chrome":
@@ -129,7 +165,7 @@ class TelemetryWriter:
             from repro.obs.export import write_chrome_trace
 
             batch = list(records)
-            self._trace_runs.append((run, batch))
+            self._trace_runs.append((run, batch, counters))
             write_chrome_trace(self.config.trace_path, self._trace_runs)
             return len(batch)
         mode = "a" if self._trace_started else "w"
@@ -172,6 +208,8 @@ class TelemetrySession:
         self.recorder = None
         self.sampler = None
         self.profiler = None
+        self.perf = None
+        self.flame = None
         #: The finalize record (set by :meth:`finalize`); in ``collect``
         #: mode this is the whole point of the session.
         self.record: Optional[dict] = None
@@ -200,6 +238,17 @@ class TelemetrySession:
             )
             sim.profiler = self.profiler
             self.profiler.start()
+        if config.perf:
+            from repro.obs.perf import PerfObservatory
+
+            self.perf = PerfObservatory(timeline_interval=1000)
+            self.perf.install(sim, network=network)
+            self.perf.start()
+        if config.flame or config.flame_path:
+            from repro.obs.profiler import StackSampler
+
+            self.flame = StackSampler(interval=config.flame_interval)
+            self.flame.start()
 
     # ------------------------------------------------------------------
     # Finalization
@@ -289,6 +338,11 @@ class TelemetrySession:
         if self.profiler is not None:
             self.profiler.stop()
             self.sim.profiler = None
+        if self.perf is not None:
+            self.perf.stop()
+            self.perf.uninstall()
+        if self.flame is not None:
+            self.flame.stop()
         if self.sampler is not None:
             self.sampler.stop()
         if self.recorder is not None:
@@ -303,6 +357,8 @@ class TelemetrySession:
             "metrics": self.registry.snapshot(),
             "samples": self.sampler.series_dict() if self.sampler else [],
             "profile": self.profiler.report() if self.profiler else None,
+            "perf": self.perf.report() if self.perf else None,
+            "flame": self.flame.report() if self.flame else None,
         }
         self.record = record
         if self.config.collect:
@@ -312,11 +368,21 @@ class TelemetrySession:
         writer = self.config.writer()
         writer.add_run(record)
         if self.recorder is not None:
-            writer.append_trace(self.recorder.records, run=self.label)
+            writer.append_trace(
+                self.recorder.records,
+                run=self.label,
+                counters=self.perf.timeline if self.perf else None,
+            )
+        if self.flame is not None and self.config.flame_path:
+            writer.add_flame(self.flame.collapsed)
         if self.profiler is not None:
             stream = self.config.stream or sys.stderr
             header = f"── profile: {self.label or 'run'} ──"
             stream.write(header + "\n" + self.profiler.render() + "\n")
+        if self.perf is not None:
+            stream = self.config.stream or sys.stderr
+            header = f"── perf: {self.label or 'run'} ──"
+            stream.write(header + "\n" + self.perf.render() + "\n")
         return record
 
 

@@ -79,6 +79,9 @@ _METRIC_REGISTRY_NAMES = ("METRIC_NAMES",)
 #: Decision-kind registries recognised for SL008
 #: (:data:`repro.obs.audit.DECISION_KINDS`).
 _DECISION_REGISTRY_NAMES = ("DECISION_KINDS",)
+#: Perf-phase registries recognised for SL009
+#: (:data:`repro.obs.perf.PERF_PHASES`).
+_PHASE_REGISTRY_NAMES = ("PERF_PHASES",)
 
 #: Trace-hub methods whose first string argument is an event name.
 _EVENT_CALL_ATTRS = {"emit", "wants", "subscribe", "unsubscribe"}
@@ -145,6 +148,7 @@ class LintContext:
     declared_events: Set[str] = field(default_factory=set)
     declared_metrics: Set[str] = field(default_factory=set)
     declared_decisions: Set[str] = field(default_factory=set)
+    declared_phases: Set[str] = field(default_factory=set)
 
     def merge_registries(self, module: Module) -> None:
         """Collect module-level event/metric name declarations."""
@@ -166,6 +170,8 @@ class LintContext:
                     self.declared_metrics.update(strings)
                 elif name in _DECISION_REGISTRY_NAMES:
                     self.declared_decisions.update(strings)
+                elif name in _PHASE_REGISTRY_NAMES or name.endswith("_PHASES"):
+                    self.declared_phases.update(strings)
 
 
 def _collect_strings(node: ast.AST) -> List[str]:
@@ -559,6 +565,58 @@ class DecisionKindRule(Rule):
                 )
 
 
+class PerfPhaseRule(Rule):
+    """SL009: perf phase names must be declared in PERF_PHASES.
+
+    The performance observatory's phase taxonomy
+    (:data:`repro.obs.perf.PERF_PHASES`) is the schema of
+    ``BENCH_simcore.json``, the per-phase regression gate, and the
+    Chrome-trace counter tracks.  A typo'd phase at any
+    ``perf.phase(...)`` / ``perf.account(...)`` call site would
+    silently fork that schema — and a *computed* phase name would
+    defeat static checking entirely, so non-literal names are findings
+    in their own right (the SL008 discipline).  Like SL003/SL007/SL008
+    the rule stays quiet when the scan saw no phase registry at all.
+    """
+
+    code = "SL009"
+    title = "perf phase names must be declared in PERF_PHASES"
+
+    _CALL_ATTRS = {"phase", "account"}
+
+    def applies_to(self, module: Module) -> bool:
+        if "/" not in module.relpath:
+            return True
+        return module.relpath.startswith(SIM_AFFECTING_PREFIXES + ("obs/",))
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.declared_phases:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self._CALL_ATTRS:
+                continue
+            name, literal = _first_str_arg(node)
+            if not literal:
+                yield self._finding(
+                    module,
+                    node,
+                    f"perf {func.attr}() phase name must be a string literal "
+                    f"so the phase taxonomy stays statically checkable",
+                )
+            elif name not in ctx.declared_phases:
+                yield self._finding(
+                    module,
+                    node,
+                    f"perf phase {name!r} is not declared in PERF_PHASES "
+                    f"(repro.obs.perf)",
+                )
+
+
 #: The active rule set, in code order.
 ALL_RULES: Sequence[Rule] = (
     WallClockRule(),
@@ -569,6 +627,7 @@ ALL_RULES: Sequence[Rule] = (
     DirectRunScenarioRule(),
     FleetEventRule(),
     DecisionKindRule(),
+    PerfPhaseRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

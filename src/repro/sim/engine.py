@@ -63,6 +63,14 @@ class Simulator:
         #: clock monotonicity and hashes the event stream; ``None`` keeps
         #: the hot loop untouched.  Takes precedence over the profiler.
         self.sanitizer = None
+        #: Optional :class:`~repro.obs.perf.PerfObservatory`.  When set,
+        #: ``run``/``step`` switch to an observed loop that charges heap
+        #: pops, dispatch, and per-handler time to named phases.  Unlike
+        #: the profiler/sanitizer loops the observed loop *composes*: it
+        #: honors an attached sanitizer or profiler internally (same
+        #: sanitizer-over-profiler precedence).  ``None`` keeps every
+        #: hot path untouched.
+        self.perf: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -101,7 +109,13 @@ class Simulator:
             )
         event = Event(time, callback, args, priority)
         event.on_cancel = self._note_cancel
-        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        perf = self.perf
+        if perf is None:
+            heapq.heappush(self._heap, (time, priority, event.seq, event))
+        else:
+            began = perf.clock()
+            heapq.heappush(self._heap, (time, priority, event.seq, event))
+            perf.account("engine.push", perf.clock() - began)
         self._live += 1
         return event
 
@@ -130,7 +144,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         try:
-            if self.sanitizer is not None:
+            if self.perf is not None:
+                self._run_observed(until)
+            elif self.sanitizer is not None:
                 self._run_sanitized(until)
             elif self.profiler is not None:
                 self._run_profiled(until)
@@ -153,6 +169,54 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+
+    def _run_observed(self, until: Optional[float]) -> None:
+        """The ``run`` loop with phase-attributed cost accounting.
+
+        Unlike the profiler/sanitizer loops this one composes: when a
+        sanitizer and/or profiler is also attached, their hooks fire
+        exactly as in their dedicated loops (sanitizer precedence over
+        the profiler unchanged), so the event digest and profile match
+        an unobserved run.  The whole loop runs inside the
+        ``engine.loop`` phase so that per-phase *self* times partition
+        the loop's wall clock.
+        """
+        heap = self._heap
+        perf = self.perf
+        san = self.sanitizer
+        profiler = self.profiler if san is None else None
+        clock = perf.clock
+        account = perf.account
+        perf._push("engine.loop")
+        try:
+            while heap and not self._stopped:
+                began = clock()
+                event = heap[0][3]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    account("engine.pop", clock() - began)
+                    continue
+                if until is not None and event.time > until:
+                    account("engine.pop", clock() - began)
+                    break
+                if profiler is not None:
+                    profiler.observe_heap(len(heap))
+                heapq.heappop(heap)
+                self._live -= 1
+                event.on_cancel = None
+                account("engine.pop", clock() - began)
+                if san is not None:
+                    san.before_event(event, self._now)
+                self._now = event.time
+                self.events_executed += 1
+                perf._push("engine.dispatch")
+                event.callback(*event.args)
+                elapsed = perf._pop(handler=event.callback)
+                if profiler is not None:
+                    profiler.record(event.callback, elapsed)
+                perf.note_event(self._now)
+        finally:
+            perf._pop()
 
     def _run_profiled(self, until: Optional[float]) -> None:
         """The ``run`` loop with per-callback wall-clock accounting.
@@ -209,11 +273,16 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False when drained.
 
-        Routes through the same sanitizer/profiler hooks as ``run`` (in
-        the same precedence order), so single-stepping a simulation
-        produces the identical event digest and profile a full ``run``
-        would.
+        Routes through the same sanitizer/profiler/perf hooks as
+        ``run`` (in the same precedence order), so single-stepping a
+        simulation produces the identical event digest, profile, and
+        phase attribution a full ``run`` would.  (The one exception is
+        the ``engine.loop`` envelope phase, which belongs to the run
+        *loop* rather than to any single event and is therefore not
+        entered per step.)
         """
+        if self.perf is not None:
+            return self._step_observed()
         heap = self._heap
         while heap:
             event = heap[0][3]
@@ -238,6 +307,42 @@ class Simulator:
                 profiler.record(event.callback, clock() - began)
             else:
                 event.callback(*event.args)
+            return True
+        return False
+
+    def _step_observed(self) -> bool:
+        """One :meth:`step` with the same phase accounting as
+        :meth:`_run_observed` (minus the ``engine.loop`` envelope,
+        which spans a whole run rather than one event)."""
+        heap = self._heap
+        perf = self.perf
+        clock = perf.clock
+        account = perf.account
+        while heap:
+            began = clock()
+            event = heap[0][3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                account("engine.pop", clock() - began)
+                continue
+            san = self.sanitizer
+            profiler = self.profiler if san is None else None
+            if profiler is not None:
+                profiler.observe_heap(len(heap))
+            heapq.heappop(heap)
+            self._live -= 1
+            event.on_cancel = None
+            account("engine.pop", clock() - began)
+            if san is not None:
+                san.before_event(event, self._now)
+            self._now = event.time
+            self.events_executed += 1
+            perf._push("engine.dispatch")
+            event.callback(*event.args)
+            elapsed = perf._pop(handler=event.callback)
+            if profiler is not None:
+                profiler.record(event.callback, elapsed)
+            perf.note_event(self._now)
             return True
         return False
 

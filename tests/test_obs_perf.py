@@ -1,0 +1,495 @@
+"""The perf observatory: nestable phase accounting, the observed engine
+loop, zero-behaviour-change guarantees, flamegraph sampling, fleet
+merges, and the benchmark diff CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import ExperimentEngine, ScenarioSpec
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import Scenario
+from repro.obs.history import RunHistory, diff_entries
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import (
+    PERF_PHASES,
+    PerfObservatory,
+    compare_reports,
+    main as perf_main,
+    merge_perf_reports,
+)
+from repro.obs.profiler import (
+    SimProfiler,
+    StackSampler,
+    merge_collapsed,
+    write_collapsed,
+)
+from repro.obs.session import TelemetryConfig, set_default_telemetry
+from repro.qa.simsan import SimSan
+from repro.sim.engine import Simulator
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``tick``."""
+
+    def __init__(self, tick=1.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        value = self.now
+        self.now += self.tick
+        return value
+
+
+def _tiny_scenario(seed=2):
+    return Scenario.paper_topology(1, duration=2.0, seed=seed, scale=0.1)
+
+
+# ---------------------------------------------------------------------------
+# Phase arithmetic (fake clock, exact numbers)
+# ---------------------------------------------------------------------------
+class TestPhaseAccounting:
+    def test_flat_phase_self_equals_cum(self):
+        perf = PerfObservatory(clock=FakeClock())
+        with perf.phase("ndn.pit"):
+            pass
+        # push reads t=0, pop reads t=1 -> elapsed 1.0
+        assert perf.calls == {"ndn.pit": 1}
+        assert perf.self_seconds["ndn.pit"] == pytest.approx(1.0)
+        assert perf.cum_seconds["ndn.pit"] == pytest.approx(1.0)
+
+    def test_nested_phase_debits_parent_self(self):
+        perf = PerfObservatory(clock=FakeClock())
+        # outer: push@0 ... inner push@1, pop@2 ... outer pop@3.
+        with perf.phase("engine.dispatch"):
+            with perf.phase("filters.bloom"):
+                pass
+        assert perf.cum_seconds["engine.dispatch"] == pytest.approx(3.0)
+        assert perf.cum_seconds["filters.bloom"] == pytest.approx(1.0)
+        # Outer self = 3 - 1 (child elapsed); selves partition the wall.
+        assert perf.self_seconds["engine.dispatch"] == pytest.approx(2.0)
+        assert perf.self_seconds["filters.bloom"] == pytest.approx(1.0)
+
+    def test_account_is_leaf_and_debits_parent(self):
+        perf = PerfObservatory(clock=FakeClock())
+        with perf.phase("engine.dispatch"):  # push@0 ... pop@1
+            perf.account("engine.push", 0.25)
+        assert perf.self_seconds["engine.push"] == pytest.approx(0.25)
+        assert perf.cum_seconds["engine.push"] == pytest.approx(0.25)
+        assert perf.self_seconds["engine.dispatch"] == pytest.approx(0.75)
+        assert perf.cum_seconds["engine.dispatch"] == pytest.approx(1.0)
+
+    def test_handler_attribution_on_pop(self):
+        perf = PerfObservatory(clock=FakeClock())
+
+        def deliver():
+            pass
+
+        perf._push("engine.dispatch")
+        elapsed = perf._pop(handler=deliver)
+        assert elapsed == pytest.approx(1.0)
+        key = deliver.__qualname__
+        assert perf.handler_calls[key] == 1
+        assert perf.handler_seconds[key] == pytest.approx(1.0)
+
+    def test_timeline_snapshots_every_interval(self):
+        perf = PerfObservatory(clock=FakeClock(), timeline_interval=2)
+        for virtual in (0.5, 1.0, 1.5, 2.0):
+            perf.note_event(virtual)
+        assert [entry[0] for entry in perf.timeline] == [1.0, 2.0]
+        assert [entry[1] for entry in perf.timeline] == [2, 4]
+
+    def test_report_shares_sum_to_one(self):
+        perf = PerfObservatory(clock=FakeClock())
+        with perf.phase("engine.dispatch"):
+            with perf.phase("ndn.cs"):
+                pass
+        perf.account("engine.push", 0.5)
+        report = perf.report()
+        shares = [row["self_share"] for row in report["phases"].values()]
+        assert sum(shares) == pytest.approx(1.0)
+        assert set(report["phases"]) <= set(PERF_PHASES)
+
+    def test_phase_handles_are_cached(self):
+        perf = PerfObservatory()
+        assert perf.phase("ndn.pit") is perf.phase("ndn.pit")
+
+
+# ---------------------------------------------------------------------------
+# The observed engine loop
+# ---------------------------------------------------------------------------
+class TestObservedLoop:
+    def _sim_with_work(self, perf=None, events=10):
+        sim = Simulator(seed=1)
+        if perf is not None:
+            sim.perf = perf
+        log = []
+        for index in range(events):
+            sim.schedule_at(float(index), log.append, index)
+        return sim, log
+
+    def test_observed_run_charges_engine_phases(self):
+        perf = PerfObservatory()
+        sim, log = self._sim_with_work(perf=perf)
+        perf.start()
+        sim.run()
+        perf.stop()
+        assert log == list(range(10))
+        assert perf.events == 10
+        assert perf.calls["engine.loop"] == 1
+        assert perf.calls["engine.pop"] == 10
+        assert perf.calls["engine.dispatch"] == 10
+        assert perf.calls["engine.push"] == 10  # setup-time schedules
+        assert perf.handler_calls.get("list.append") == 10
+
+    def test_observed_run_skips_cancelled(self):
+        perf = PerfObservatory()
+        sim, log = self._sim_with_work(perf=perf, events=5)
+        victim = sim.schedule_at(2.5, log.append, 99)
+        sim.cancel(victim)
+        sim.run()
+        assert log == list(range(5))
+        assert perf.events == 5
+        # The cancelled skip still pays a heap pop.
+        assert perf.calls["engine.pop"] == 6
+
+    def test_observed_until_matches_plain_run(self):
+        plain_sim, plain_log = self._sim_with_work()
+        plain_sim.run(until=4.5)
+        perf = PerfObservatory()
+        obs_sim, obs_log = self._sim_with_work(perf=perf)
+        obs_sim.run(until=4.5)
+        assert obs_log == plain_log
+        assert obs_sim.events_executed == plain_sim.events_executed
+        assert obs_sim.now == plain_sim.now
+        assert perf.events == plain_sim.events_executed
+
+    def test_observed_composes_with_sanitizer_digest(self):
+        reference = SimSan(mode="collect")
+        sim, _ = self._sim_with_work()
+        reference.install(sim)
+        sim.run()
+
+        observed = SimSan(mode="collect")
+        perf = PerfObservatory()
+        sim2, _ = self._sim_with_work(perf=perf)
+        observed.install(sim2)
+        sim2.run()
+
+        assert observed.stream_digest() == reference.stream_digest()
+        assert perf.events == 10
+
+    def test_observed_composes_with_profiler(self):
+        perf = PerfObservatory()
+        profiler = SimProfiler()
+        sim, _ = self._sim_with_work(perf=perf)
+        sim.profiler = profiler
+        sim.run()
+        assert profiler.calls.get("list.append") == 10
+        assert perf.handler_calls.get("list.append") == 10
+
+    def test_trace_emit_charged_when_subscribed(self):
+        perf = PerfObservatory()
+        sim = Simulator(seed=1)
+        sim.perf = perf
+        sim.trace.perf = perf
+        seen = []
+        sim.trace.subscribe("tick", lambda record: seen.append(record.time))
+        sim.schedule_at(1.0, lambda: sim.trace.emit("tick", sim.now))
+        sim.run()
+        assert seen == [1.0]
+        assert perf.calls.get("trace.emit") == 1
+
+    def test_step_observed_matches_run_phases(self):
+        def run_all(step):
+            perf = PerfObservatory()
+            sim, log = self._sim_with_work(perf=perf, events=6)
+            victim = sim.schedule_at(2.25, log.append, 99)
+            sim.cancel(victim)
+            sim.schedule_at(1.5, lambda: sim.schedule(0.1, log.append, -1))
+            if step:
+                while sim.step():
+                    pass
+            else:
+                sim.run()
+            return perf, log
+
+        run_perf, run_log = run_all(step=False)
+        step_perf, step_log = run_all(step=True)
+        assert step_log == run_log
+        assert step_perf.events == run_perf.events
+        assert step_perf.handler_calls == run_perf.handler_calls
+        # step() has no loop envelope — the only permitted difference.
+        run_calls = dict(run_perf.calls)
+        assert run_calls.pop("engine.loop") == 1
+        assert "engine.loop" not in step_perf.calls
+        assert step_perf.calls == run_calls
+
+
+# ---------------------------------------------------------------------------
+# Install / uninstall across the hot-path surface
+# ---------------------------------------------------------------------------
+class TestInstallation:
+    def test_install_reaches_components_and_uninstall_detaches(self):
+        result = run_scenario(_tiny_scenario())
+        perf = PerfObservatory()
+        perf.install(result.sim, network=result.network)
+        assert result.sim.perf is perf
+        assert result.sim.trace.perf is perf
+        nodes = list(result.network.nodes.values())
+        touched = 0
+        for node in nodes:
+            for attr in ("pit", "cs", "bloom", "cost_model"):
+                component = getattr(node, attr, None)
+                if component is not None and hasattr(component, "perf"):
+                    assert component.perf is perf
+                    touched += 1
+        assert touched > 0
+        for link in result.network.links:
+            assert link.perf is perf
+        perf.uninstall()
+        assert result.sim.perf is None
+        assert result.sim.trace.perf is None
+        for link in result.network.links:
+            assert link.perf is None
+
+    def test_uninstall_never_clobbers_a_successor(self):
+        sim = Simulator(seed=1)
+        first = PerfObservatory()
+        first.install(sim)
+        second = PerfObservatory()
+        second.install(sim)
+        first.uninstall()  # stale: sim.perf now belongs to `second`
+        assert sim.perf is second
+
+
+# ---------------------------------------------------------------------------
+# Zero behaviour change: figure quantities bit-identical with perf on
+# ---------------------------------------------------------------------------
+class TestZeroBehaviourChange:
+    def test_metrics_identical_with_observatory_on(self):
+        plain = run_scenario(_tiny_scenario())
+        perf = PerfObservatory(timeline_interval=500)
+        observed = run_scenario(_tiny_scenario(), perf=perf)
+
+        assert observed.to_summary().metrics_dict() == \
+            plain.to_summary().metrics_dict()
+        assert observed.sim.events_executed == plain.sim.events_executed
+        assert perf.events == plain.sim.events_executed
+        # Component phases actually fired on the real workload.
+        # (trace.emit is absent here: with no trace subscribers the hub
+        # early-returns before the perf guard — delivery costs nothing,
+        # so nothing is charged.)
+        for name in ("ndn.pit", "ndn.cs", "filters.bloom", "crypto.cost"):
+            assert perf.calls.get(name, 0) > 0, name
+        # After the run the runner detached everything.
+        assert observed.sim.perf is None
+
+    def test_run_scenario_report_covers_the_loop(self):
+        perf = PerfObservatory()
+        run_scenario(_tiny_scenario(), perf=perf)
+        report = perf.report()
+        assert report["phase_coverage"] >= 0.9
+        assert report["events"] > 0
+        assert report["events_per_second"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Fleet merging
+# ---------------------------------------------------------------------------
+class TestMerging:
+    def _report(self, events=10, wall=2.0, self_s=1.0):
+        return {
+            "events": events,
+            "wall_seconds": wall,
+            "phases": {
+                "engine.dispatch": {
+                    "calls": events,
+                    "self_seconds": self_s,
+                    "cum_seconds": self_s,
+                }
+            },
+            "handlers": [
+                {"handler": "list.append", "calls": events, "seconds": self_s}
+            ],
+            "timeline": [[0.5, events, {}]],
+        }
+
+    def test_merge_sums_and_recomputes(self):
+        into = {}
+        merge_perf_reports(into, self._report(events=10, wall=2.0, self_s=1.0))
+        merge_perf_reports(into, self._report(events=30, wall=2.0, self_s=2.0))
+        assert into["events"] == 40
+        assert into["wall_seconds"] == pytest.approx(4.0)
+        assert into["events_per_second"] == pytest.approx(10.0)
+        dispatch = into["phases"]["engine.dispatch"]
+        assert dispatch["calls"] == 40
+        assert dispatch["self_seconds"] == pytest.approx(3.0)
+        assert dispatch["self_share"] == pytest.approx(1.0)
+        assert into["phase_coverage"] == pytest.approx(0.75)
+        assert into["handlers"]["list.append"]["calls"] == 40
+        assert "timeline" not in into  # per-run, dropped on merge
+
+
+# ---------------------------------------------------------------------------
+# Stack sampling / flamegraphs
+# ---------------------------------------------------------------------------
+class TestStackSampler:
+    def test_samples_own_thread_and_writes_collapsed(self, tmp_path):
+        sampler = StackSampler(interval=0.001)
+        sampler.start()
+        deadline = 200_000
+        total = 0
+        while total < deadline or sampler.samples == 0:
+            total += 1
+            if total > 50_000_000:  # pragma: no cover - CI safety valve
+                break
+        sampler.stop()
+        assert sampler.samples > 0
+        assert sampler.collapsed
+        for stack, count in sampler.collapsed.items():
+            assert ";" in stack or "." in stack
+            assert count >= 1
+        out = tmp_path / "flame.txt"
+        sampler.write_collapsed(str(out))
+        lines = out.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            assert int(count) >= 1
+        report = sampler.report()
+        assert report["samples"] == sampler.samples
+        assert report["stacks"] == sampler.collapsed
+
+    def test_merge_collapsed_sums_counts(self):
+        into = {"a;b": 2}
+        merge_collapsed(into, {"a;b": 3, "c": 1})
+        assert into == {"a;b": 5, "c": 1}
+
+    def test_write_collapsed_module_fn_sorted(self, tmp_path):
+        out = tmp_path / "flame.txt"
+        write_collapsed(str(out), {"b;c": 1, "a;b": 2})
+        assert out.read_text() == "a;b 2\nb;c 1\n"
+
+
+# ---------------------------------------------------------------------------
+# Benchmark diffing: compare_reports + CLI exit codes
+# ---------------------------------------------------------------------------
+class TestBenchmarkDiff:
+    BASE = {
+        "events_per_sec": 100_000.0,
+        "phases": {"engine.dispatch": {"self_seconds": 1.0}},
+    }
+
+    def test_clean_within_tolerance(self):
+        cand = dict(self.BASE, events_per_sec=95_000.0)
+        problems, lines = compare_reports(self.BASE, cand, tolerance_pct=10.0)
+        assert problems == []
+        assert any("events/sec" in line for line in lines)
+
+    def test_regression_beyond_tolerance(self):
+        cand = dict(self.BASE, events_per_sec=50_000.0)
+        problems, _ = compare_reports(self.BASE, cand, tolerance_pct=10.0)
+        assert problems and "regressed" in problems[0]
+
+    def test_improvement_is_clean(self):
+        cand = dict(self.BASE, events_per_sec=200_000.0)
+        problems, _ = compare_reports(self.BASE, cand, tolerance_pct=10.0)
+        assert problems == []
+
+    def test_accepts_raw_report_key(self):
+        cand = {"events_per_second": 99_000.0, "phases": {}}
+        problems, _ = compare_reports(self.BASE, cand, tolerance_pct=10.0)
+        assert problems == []
+
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        base = self._write(tmp_path / "a.json", self.BASE)
+        good = self._write(
+            tmp_path / "b.json", dict(self.BASE, events_per_sec=101_000.0)
+        )
+        bad = self._write(
+            tmp_path / "c.json", dict(self.BASE, events_per_sec=10_000.0)
+        )
+        assert perf_main(["report", base, good]) == 0
+        assert perf_main(["report", base, bad]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        # Wide tolerance lets the same pair pass.
+        assert perf_main(["report", base, bad, "--tolerance", "95"]) == 0
+        assert perf_main(["report", base, str(tmp_path / "missing.json")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# History gate: append_benchmark + diff
+# ---------------------------------------------------------------------------
+class TestHistoryGate:
+    def test_benchmark_entries_pair_and_gate(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append_benchmark(
+            "simcore", label="paper-topo1",
+            metrics={"events_per_sec": 100_000.0}, wall_seconds=1.0,
+            timestamp=1.0,
+        )
+        history.append_benchmark(
+            "simcore", label="paper-topo1",
+            metrics={"events_per_sec": 99_000.0}, wall_seconds=1.0,
+            timestamp=2.0,
+        )
+        entries = history.entries(figure="simcore")
+        assert len(entries) == 2
+        spec = entries[0]["specs"][0]
+        assert spec["scheme"] == "benchmark"
+        assert spec["fingerprint"] == entries[1]["specs"][0]["fingerprint"]
+        assert diff_entries(entries[0], entries[1], rel_tol=0.05) == []
+        problems = diff_entries(entries[0], entries[1], rel_tol=0.001)
+        assert problems and "events_per_sec" in problems[0]
+
+
+# ---------------------------------------------------------------------------
+# Telemetry envelope + fleet round trip
+# ---------------------------------------------------------------------------
+class TestTelemetryEnvelope:
+    def test_collect_mode_run_carries_perf_report(self):
+        config = TelemetryConfig(collect=True, perf=True)
+        result = run_scenario(_tiny_scenario(), telemetry=config)
+        record = result.telemetry.record
+        assert record["perf"] is not None
+        assert record["perf"]["events"] == result.sim.events_executed
+        assert record["perf"]["phases"]
+
+    def test_collect_mode_flame_rides_envelope(self):
+        config = TelemetryConfig(collect=True, flame=True, flame_interval=0.001)
+        result = run_scenario(_tiny_scenario(), telemetry=config)
+        flame = result.telemetry.record["flame"]
+        assert flame is not None
+        assert flame["samples"] >= 0
+        assert isinstance(flame["stacks"], dict)
+
+    def test_engine_merges_fleet_perf(self):
+        set_default_telemetry(TelemetryConfig(collect=True, perf=True))
+        try:
+            engine = ExperimentEngine(
+                registry=MetricsRegistry(), use_cache=False, jobs=1
+            )
+            specs = [
+                ScenarioSpec.make(seed=seed, topology=1, duration=2.0, scale=0.1)
+                for seed in (1, 2)
+            ]
+            summaries = engine.run_specs(specs)
+        finally:
+            set_default_telemetry(None)
+        assert len(summaries) == 2
+        assert engine.fleet_perf
+        total = sum(
+            summary.telemetry["perf"]["events"] for summary in summaries
+        )
+        assert engine.fleet_perf["events"] == total
+        assert engine.fleet_perf["phases"]["engine.dispatch"]["calls"] > 0

@@ -227,3 +227,51 @@ def test_step_sanitizer_takes_precedence_over_profiler():
     _drain_by_stepping(sim)
     assert san.events_seen == 3
     assert profiler.events == 0
+
+
+def test_step_feeds_perf_like_run():
+    from repro.obs.perf import PerfObservatory
+
+    def build(perf):
+        sim = Simulator(seed=7)
+        sim.perf = perf
+        rng = sim.rng.stream("load")
+        for i in range(12):
+            sim.schedule(rng.random() * 5.0, lambda: None)
+        victim = sim.schedule(2.5, lambda: None)
+        sim.cancel(victim)
+        return sim
+
+    ran = PerfObservatory()
+    sim = build(ran)
+    sim.run()
+
+    stepped = PerfObservatory()
+    sim2 = build(stepped)
+    _drain_by_stepping(sim2)
+
+    assert stepped.events == ran.events == 12
+    assert sim2.events_executed == sim.events_executed
+    assert stepped.handler_calls == ran.handler_calls
+    # The only permitted difference: run() wraps the whole loop in the
+    # engine.loop envelope phase; step() has no loop to envelope.
+    run_calls = dict(ran.calls)
+    assert run_calls.pop("engine.loop") == 1
+    assert "engine.loop" not in stepped.calls
+    assert stepped.calls == run_calls
+
+
+def test_step_perf_composes_with_sanitizer():
+    from repro.obs.perf import PerfObservatory
+    from repro.qa.simsan import SimSan
+
+    sim = Simulator(seed=7)
+    perf = PerfObservatory()
+    san = SimSan(mode="collect", hash_events=True)
+    sim.perf = perf
+    sim.sanitizer = san
+    for i in range(3):
+        sim.schedule(float(i + 1), lambda: None)
+    _drain_by_stepping(sim)
+    assert perf.events == 3
+    assert san.events_seen == 3
