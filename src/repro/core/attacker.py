@@ -32,6 +32,7 @@ from repro.core.client import Client
 from repro.core.config import TacticConfig
 from repro.core.metrics import UserStats
 from repro.core.tag import Tag
+from repro.ndn.packets import Data
 from repro.sim.engine import Simulator
 from repro.workload.catalog import Catalog
 
@@ -144,7 +145,7 @@ class Attacker(Client):
     #: shared tags are tested against the strongest adversary.
     expected_access_path: bytes = b"\x00" * 32
 
-    def can_consume(self, data) -> bool:
+    def can_consume(self, data: Data) -> bool:
         """Attackers never hold decryption material: even content that
         reaches them (e.g. under client-side schemes, or via a Bloom
         false positive) is ciphertext they cannot use."""

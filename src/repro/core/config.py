@@ -108,7 +108,7 @@ class TacticConfig:
     drain_time: float = 2.0
     seed: int = 1
 
-    def with_(self, **overrides) -> "TacticConfig":
+    def with_(self, **overrides: object) -> "TacticConfig":
         """Functional update; returns a modified copy."""
         return replace(self, **overrides)
 

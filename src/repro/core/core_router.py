@@ -10,17 +10,30 @@ given name the moment content it forwards gets cached.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.core.config import TacticConfig
 from repro.core.content_router import ContentRouterMixin
 from repro.core.intermediate_router import IntermediateRouterMixin
+from repro.core.metrics import MetricsCollector
 from repro.core.router_base import TacticRouterBase
+from repro.crypto.pki import CertificateStore
 from repro.ndn.link import Face
 from repro.ndn.packets import Data, Interest
+from repro.sim.engine import Simulator
 
 
 class CoreRouter(ContentRouterMixin, IntermediateRouterMixin, TacticRouterBase):
     """An rC in the paper's notation (rcC on cache hit, riC on miss)."""
 
-    def __init__(self, sim, node_id, config, cert_store, metrics=None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        config: TacticConfig,
+        cert_store: CertificateStore,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
         super().__init__(sim, node_id, config, cert_store, metrics, is_edge=False)
 
     def on_interest(self, interest: Interest, in_face: Face) -> None:

@@ -25,18 +25,31 @@ On content arrival it:
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.core.access_path import paths_match
+from repro.core.config import TacticConfig
+from repro.core.metrics import MetricsCollector
 from repro.core.precheck import edge_precheck
 from repro.core.router_base import TacticRouterBase
+from repro.crypto.pki import CertificateStore
 from repro.ndn.link import Face
 from repro.ndn.packets import Data, Interest, Nack, NackReason
 from repro.ndn.pit import PitRecord
+from repro.sim.engine import Simulator
 
 
 class EdgeRouter(TacticRouterBase):
     """An rE in the paper's notation."""
 
-    def __init__(self, sim, node_id, config, cert_store, metrics=None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        config: TacticConfig,
+        cert_store: CertificateStore,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
         super().__init__(sim, node_id, config, cert_store, metrics, is_edge=True)
 
     # ------------------------------------------------------------------
@@ -106,7 +119,7 @@ class EdgeRouter(TacticRouterBase):
         if self.pit.insert(interest.name, record, now=self.sim.now):
             self.forward_interest(interest, in_face, delay)
 
-    def _verify_client_signature(self, interest: Interest):
+    def _verify_client_signature(self, interest: Interest) -> Tuple[bool, float]:
         """Check the request signature against the tag's client locator."""
         self.counters.client_sig_verifications += 1
         delay = self.compute_delay("signature_verify")

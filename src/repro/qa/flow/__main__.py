@@ -1,0 +1,10 @@
+"""``python -m repro.qa.flow`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.qa.flow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Baseline and inline-suppression filtering for simflow findings.
+
+The baseline file (default ``.simflow-baseline.json``) is a checked-in
+list of accepted findings keyed by ``(path, rule, message)`` — line
+numbers are deliberately excluded so unrelated edits above a finding
+don't churn the file.  ``--baseline`` mode fails only on findings *not*
+in the baseline; ``--write-baseline`` refreshes it.
+
+Inline suppressions use the same mechanics as simlint:
+``# simflow: disable=SL011`` (or bare ``disable`` for all rules) on
+the flagged line.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.qa.findings import Finding
+from repro.qa.flow.model import ModuleSummary
+
+DEFAULT_BASELINE = ".simflow-baseline.json"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.rule, finding.message)
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Dict[str, ModuleSummary]
+) -> List[Finding]:
+    """Drop findings whose line carries a matching ``# simflow:``."""
+    by_path = {mod.path: mod for mod in modules.values()}
+    kept: List[Finding] = []
+    for finding in findings:
+        mod = by_path.get(finding.path)
+        if mod is not None:
+            codes = mod.suppressions.get(finding.line, ())
+            if "*" in codes or finding.rule in codes:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def load_baseline(path: str) -> Counter:
+    """Multiset of accepted finding keys; empty on a missing file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return Counter()
+    keys: Counter = Counter()
+    for entry in payload.get("findings", []):
+        keys[(entry["path"], entry["rule"], entry["message"])] += 1
+    return keys
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    entries = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in sorted(findings, key=lambda f: f.sort_key())
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "findings": entries}, handle, indent=2)
+        handle.write("\n")
+
+
+def new_findings(
+    findings: Iterable[Finding], baseline: Counter
+) -> List[Finding]:
+    """Findings not covered by the baseline multiset."""
+    budget = Counter(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -1,0 +1,86 @@
+"""Fingerprint-keyed incremental cache of per-module summaries.
+
+Same content-address discipline as the run cache
+(:mod:`repro.exec.cache`): the key is BLAKE2 over the file's source
+plus :data:`~repro.qa.flow.model.ANALYZER_VERSION`, so both an edited
+file and an upgraded extractor miss cleanly.  Entries are plain JSON
+(the :meth:`ModuleSummary.to_json_dict` round-trip), written atomically
+via temp-file + rename so a crashed run never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.qa.flow.model import ANALYZER_VERSION, ModuleSummary
+
+#: Environment override for the cache directory.
+CACHE_ENV = "REPRO_FLOW_CACHE"
+DEFAULT_CACHE_DIR = ".simflow-cache"
+
+
+def resolve_cache_dir(explicit: Optional[str] = None) -> str:
+    return explicit or os.environ.get(CACHE_ENV) or DEFAULT_CACHE_DIR
+
+
+class SummaryCache:
+    """Disk cache: ``<dir>/<fingerprint>-v<version>.json`` per module."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.cache_dir, f"{fingerprint}-v{ANALYZER_VERSION}.json"
+        )
+
+    def get(self, fingerprint: str) -> Optional[ModuleSummary]:
+        path = self._entry_path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_json_dict(payload)
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, summary: ModuleSummary) -> None:
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._entry_path(summary.fingerprint)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(summary.to_json_dict(), handle)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+
+class NullCache(SummaryCache):
+    """``--no-cache``: always miss, never write."""
+
+    def __init__(self) -> None:
+        super().__init__(cache_dir="")
+
+    def get(self, fingerprint: str) -> Optional[ModuleSummary]:
+        self.misses += 1
+        return None
+
+    def put(self, summary: ModuleSummary) -> None:
+        return None

@@ -1,0 +1,175 @@
+"""The whole-program linking phase: symbol table + call graph.
+
+:class:`Program` ties the per-module summaries together.  Call
+resolution works at two precision levels, and each analysis picks the
+one whose failure mode is safe for it:
+
+- **Precise edges** (:meth:`Program.resolve_precise`): a call resolves
+  only when the binding is unambiguous — a bare name defined in the
+  same module, an import-table binding to a project module, or a
+  ``self.method`` lookup within the receiver class and its project
+  base classes (MRO-ish, left-to-right).  Used by the SL011 taint
+  analysis, where a spurious edge would create false taint chains.
+- **Name-union edges** (:meth:`Program.resolve_union`): an attribute
+  call like ``handler.deliver(...)`` resolves to *every* project
+  function with that terminal name.  Used by SL010 obligation
+  propagation, where missing an edge would silently discharge an
+  enforcement obligation — over-approximation is the safe direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.qa.flow.model import ClassInfo, FunctionInfo, ModuleSummary
+
+#: ``(relpath, qualname)`` — the stable identity of a function.
+FuncKey = Tuple[str, str]
+
+
+class Program:
+    """Symbol table + call graph over a set of module summaries."""
+
+    def __init__(self, modules: Iterable[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {
+            mod.relpath: mod for mod in modules
+        }
+        #: (relpath, qualname) -> FunctionInfo
+        self.functions: Dict[FuncKey, FunctionInfo] = {}
+        #: terminal function/method name -> keys bearing it
+        self.by_name: Dict[str, List[FuncKey]] = {}
+        #: dotted module name -> relpath
+        self.by_module: Dict[str, str] = {}
+        #: (relpath, class name) -> ClassInfo
+        self.classes: Dict[Tuple[str, str], ClassInfo] = {}
+        #: class name -> [(relpath, ClassInfo)] (project-wide)
+        self.classes_by_name: Dict[str, List[Tuple[str, ClassInfo]]] = {}
+
+        for mod in self.modules.values():
+            if mod.module:
+                self.by_module[mod.module] = mod.relpath
+            for func in mod.functions:
+                key = (mod.relpath, func.qualname)
+                self.functions[key] = func
+                self.by_name.setdefault(func.name, []).append(key)
+            for klass in mod.classes:
+                self.classes[(mod.relpath, klass.name)] = klass
+                self.classes_by_name.setdefault(klass.name, []).append(
+                    (mod.relpath, klass)
+                )
+
+        self._reverse: Optional[Dict[FuncKey, Set[FuncKey]]] = None
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_precise(self, caller: FuncKey, call_name: str) -> List[FuncKey]:
+        """Unambiguous targets of ``call_name`` made from ``caller``."""
+        relpath, qualname = caller
+        mod = self.modules[relpath]
+        head, _, rest = call_name.partition(".")
+
+        # ``self.method()`` / ``cls.method()``: search the receiver's
+        # class, then its project bases, left to right.
+        if head in ("self", "cls") and rest and "." not in rest:
+            caller_func = self.functions[caller]
+            if caller_func.class_name:
+                hit = self._lookup_method(
+                    relpath, caller_func.class_name, rest
+                )
+                return [hit] if hit else []
+            return []
+
+        # Bare name: same-module function, else an import binding.
+        if not rest:
+            key = (relpath, head)
+            if key in self.functions:
+                return [key]
+            target = mod.imports.get(head)
+            if target:
+                return self._resolve_dotted(target)
+            return []
+
+        # Dotted through an imported module: ``helpers.jitter()``.
+        target = mod.imports.get(head)
+        if target:
+            return self._resolve_dotted(f"{target}.{rest}")
+        return self._resolve_dotted(call_name)
+
+    def _resolve_dotted(self, dotted: str) -> List[FuncKey]:
+        """``repro.x.y.func`` -> the module-level function, if ours."""
+        module_part, _, func_name = dotted.rpartition(".")
+        if not module_part or not func_name:
+            return []
+        relpath = self.by_module.get(module_part)
+        if relpath is None:
+            # ``from repro.x.y import func`` stores the full dotted
+            # path; also try treating the whole thing as a module ref
+            # re-exported through a package __init__.
+            return []
+        key = (relpath, func_name)
+        return [key] if key in self.functions else []
+
+    def _lookup_method(
+        self, relpath: str, class_name: str, method: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[FuncKey]:
+        seen = _seen if _seen is not None else set()
+        if class_name in seen:
+            return None
+        seen.add(class_name)
+        candidates = []
+        if (relpath, class_name) in self.classes:
+            candidates.append((relpath, self.classes[(relpath, class_name)]))
+        else:
+            candidates.extend(self.classes_by_name.get(class_name, ()))
+        for owner_relpath, klass in candidates:
+            key = (owner_relpath, f"{klass.name}.{method}")
+            if key in self.functions:
+                return key
+            for base in klass.bases:
+                hit = self._lookup_method(owner_relpath, base, method, seen)
+                if hit:
+                    return hit
+        return None
+
+    def resolve_union(self, call_name: str) -> List[FuncKey]:
+        """Every project function whose terminal name matches."""
+        terminal = call_name.split(".")[-1]
+        return list(self.by_name.get(terminal, ()))
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+    def precise_callees(self, caller: FuncKey) -> Set[FuncKey]:
+        out: Set[FuncKey] = set()
+        func = self.functions[caller]
+        for call in func.calls:
+            out.update(self.resolve_precise(caller, call.name))
+        return out
+
+    def precise_callers(self) -> Dict[FuncKey, Set[FuncKey]]:
+        """Reverse precise call graph (memoised)."""
+        if self._reverse is None:
+            reverse: Dict[FuncKey, Set[FuncKey]] = {
+                key: set() for key in self.functions
+            }
+            for caller in self.functions:
+                for callee in self.precise_callees(caller):
+                    reverse[callee].add(caller)
+            self._reverse = reverse
+        return self._reverse
+
+    def union_callers(self, target: FuncKey) -> Set[FuncKey]:
+        """Callers by terminal-name match — the over-approximation SL010
+        needs so an obligation is never silently dropped."""
+        _, qualname = target
+        method = qualname.split(".")[-1]
+        out: Set[FuncKey] = set()
+        for caller_key, func in self.functions.items():
+            if caller_key == target:
+                continue
+            for call in func.calls:
+                if call.name.split(".")[-1] == method:
+                    out.add(caller_key)
+                    break
+        return out

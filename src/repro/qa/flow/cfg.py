@@ -1,0 +1,218 @@
+"""Per-function control-flow graphs and dominator sets.
+
+One :class:`Cfg` per function body.  Nodes are *statements* (plus the
+test expression of each branch/loop head, so conditions can dominate),
+with two virtual nodes: ``ENTRY`` (0) and ``EXIT`` (1).  Every
+``return``/``raise`` edge lands on ``EXIT``; the fall-through end of
+the body does too.
+
+``try`` is handled conservatively: every statement lowered inside a
+``try`` body gains an edge to each handler's entry, so a handler is
+reachable from any point in the protected region.  Conservatism here
+only *removes* dominators — the safe direction for SL010, which treats
+an undominated transmission site as a finding.
+
+Dominators come from the classic iterative data-flow
+(``dom(n) = {n} ∪ ⋂ dom(pred)``), which converges fast on the small,
+reducible CFGs Python function bodies produce.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+ENTRY = 0
+EXIT = 1
+
+
+class Assume:
+    """A branch-direction pseudo-node: ``test`` held ``value``.
+
+    An ``if`` lowers to ``test -> assume(True) -> body`` and
+    ``test -> assume(False) -> orelse``, so a statement dominated by an
+    ``Assume`` is reached only when the condition resolved that way —
+    the polarity information plain test-node dominance cannot give.
+    The join point after the ``if`` is dominated by neither assume.
+    """
+
+    __slots__ = ("test", "value")
+
+    def __init__(self, test: ast.expr, value: bool) -> None:
+        self.test = test
+        self.value = value
+
+
+class Cfg:
+    """A statement-level control-flow graph for one function body."""
+
+    def __init__(self) -> None:
+        #: Node id -> AST node or :class:`Assume` (``None`` for the two
+        #: virtual nodes).
+        self.nodes: List[Optional[object]] = [None, None]
+        self.succs: List[Set[int]] = [set(), set()]
+
+    def add_node(self, node: object) -> int:
+        self.nodes.append(node)
+        self.succs.append(set())
+        return len(self.nodes) - 1
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succs[src].add(dst)
+
+    def preds(self) -> List[Set[int]]:
+        out: List[Set[int]] = [set() for _ in self.nodes]
+        for src, dsts in enumerate(self.succs):
+            for dst in dsts:
+                out[dst].add(src)
+        return out
+
+    # ------------------------------------------------------------------
+    # Dominators
+    # ------------------------------------------------------------------
+    def dominators(self) -> List[Set[int]]:
+        """``dom[n]`` = node ids dominating ``n`` (including ``n``).
+
+        Unreachable nodes keep the full set (vacuous dominance), which
+        is harmless: an unreachable transmission site cannot execute.
+        """
+        preds = self.preds()
+        everything = set(range(len(self.nodes)))
+        dom: List[Set[int]] = [set(everything) for _ in self.nodes]
+        dom[ENTRY] = {ENTRY}
+        changed = True
+        while changed:
+            changed = False
+            for node in range(2, len(self.nodes)):
+                incoming = [dom[p] for p in preds[node]]
+                fresh = set.intersection(*incoming) if incoming else set(everything)
+                fresh = fresh | {node}
+                if fresh != dom[node]:
+                    dom[node] = fresh
+                    changed = True
+        # EXIT last: its preds may include late nodes.
+        incoming = [dom[p] for p in preds[EXIT]]
+        dom[EXIT] = (set.intersection(*incoming) if incoming else set()) | {EXIT}
+        return dom
+
+
+class _Loop:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    def __init__(self, head: int) -> None:
+        self.head = head
+        self.breaks: Set[int] = set()
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = Cfg()
+        self.loops: List[_Loop] = []
+        #: Entry node of each active handler, for try-body edges.
+        self.handler_entries: List[List[int]] = []
+
+    # `preds` is the set of nodes that fall through into the next
+    # statement; an empty set means the path already terminated.
+    def lower_body(self, stmts: Sequence[ast.stmt], preds: Set[int]) -> Set[int]:
+        for stmt in stmts:
+            preds = self.lower_stmt(stmt, preds)
+        return preds
+
+    def _new(self, node: object, preds: Set[int]) -> int:
+        nid = self.cfg.add_node(node)
+        for pred in preds:
+            self.cfg.add_edge(pred, nid)
+        # A statement in a try body may raise into any active handler.
+        for entries in self.handler_entries:
+            entries.append(nid)
+        return nid
+
+    def lower_stmt(self, stmt: ast.stmt, preds: Set[int]) -> Set[int]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            nid = self._new(stmt, preds)
+            self.cfg.add_edge(nid, EXIT)
+            return set()
+        if isinstance(stmt, ast.Break):
+            nid = self._new(stmt, preds)
+            if self.loops:
+                self.loops[-1].breaks.add(nid)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            nid = self._new(stmt, preds)
+            if self.loops:
+                self.cfg.add_edge(nid, self.loops[-1].head)
+            return set()
+        if isinstance(stmt, ast.If):
+            test = self._new(stmt.test, preds)
+            assume_t = self._new(Assume(stmt.test, True), {test})
+            assume_f = self._new(Assume(stmt.test, False), {test})
+            then_out = self.lower_body(stmt.body, {assume_t})
+            else_out = self.lower_body(stmt.orelse, {assume_f})
+            return then_out | else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head_expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            head = self._new(head_expr, preds)
+            loop = _Loop(head)
+            self.loops.append(loop)
+            body_out = self.lower_body(stmt.body, {head})
+            for nid in body_out:
+                self.cfg.add_edge(nid, head)
+            self.loops.pop()
+            normal_exit = self.lower_body(stmt.orelse, {head})
+            return normal_exit | loop.breaks
+        if isinstance(stmt, ast.Try):
+            head = self._new(stmt, preds)
+            body_entries: List[int] = []
+            self.handler_entries.append(body_entries)
+            body_out = self.lower_body(stmt.body, {head})
+            self.handler_entries.pop()
+            outs = set(body_out)
+            raisers = {head} | set(body_entries)
+            for handler in stmt.handlers:
+                outs |= self.lower_body(handler.body, set(raisers))
+            outs |= self.lower_body(stmt.orelse, set(body_out))
+            if stmt.finalbody:
+                outs = self.lower_body(stmt.finalbody, outs or {head})
+            return outs
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._new(stmt, preds)
+            return self.lower_body(stmt.body, {head})
+        if isinstance(stmt, ast.Match):
+            subject = self._new(stmt.subject, preds)
+            outs: Set[int] = {subject}  # no case may match
+            for case in stmt.cases:
+                outs |= self.lower_body(case.body, {subject})
+            return outs
+        # Everything else — assignments, expression statements, nested
+        # defs (opaque), imports, global/nonlocal, pass, assert — is a
+        # single straight-line node.
+        nid = self._new(stmt, preds)
+        return {nid}
+
+
+def build_cfg(func: ast.AST) -> Cfg:
+    """The CFG of a ``FunctionDef``/``AsyncFunctionDef`` body."""
+    builder = _Builder()
+    body = getattr(func, "body", [])
+    out = builder.lower_body(body, {ENTRY})
+    for nid in out:
+        builder.cfg.add_edge(nid, EXIT)
+    if not builder.cfg.succs[ENTRY] and len(builder.cfg.nodes) == 2:
+        builder.cfg.add_edge(ENTRY, EXIT)  # empty body
+    return builder.cfg
+
+
+def strict_dominators(cfg: Cfg) -> Tuple[Dict[int, Set[int]], Set[int]]:
+    """``(site -> strict dominators, strict dominators of EXIT)``.
+
+    Convenience over :meth:`Cfg.dominators` that strips each node's
+    self-entry and the virtual nodes, leaving only *real* AST nodes a
+    caller can classify.
+    """
+    dom = cfg.dominators()
+    virtual = {ENTRY, EXIT}
+    per_node: Dict[int, Set[int]] = {}
+    for nid in range(2, len(cfg.nodes)):
+        per_node[nid] = dom[nid] - {nid} - virtual
+    exit_dom = dom[EXIT] - virtual
+    return per_node, exit_dom

@@ -1,0 +1,236 @@
+"""The simflow driver and CLI.
+
+Usage::
+
+    python -m repro.qa.flow                       # whole package, text
+    python -m repro.qa.flow src/repro --format sarif
+    python -m repro.qa.flow --baseline            # fail on NEW findings
+    python -m repro.qa.flow --write-baseline      # accept current state
+    python -m repro.qa.flow --select SL011 --no-cache
+    python -m repro.qa.flow --list-rules
+
+Exit codes: 0 clean (or fully baseline-covered), 1 findings, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.qa.findings import Finding, sort_findings
+from repro.qa.flow.baseline import (
+    DEFAULT_BASELINE,
+    apply_suppressions,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from repro.qa.flow.cachedb import NullCache, SummaryCache, resolve_cache_dir
+from repro.qa.flow.callgraph import Program
+from repro.qa.flow.dominance import check_sl010
+from repro.qa.flow.extract import extract_module, source_fingerprint
+from repro.qa.flow.model import FLOW_RULES, FlowReport, ModuleSummary
+from repro.qa.flow.picklability import check_sl012, check_sl013
+from repro.qa.flow.reporters import report_json, report_sarif, report_text
+from repro.qa.flow.taint import check_sl011
+from repro.qa.lint import iter_python_files
+
+#: Default analysis root: the installed ``repro`` package source tree.
+PACKAGE_ROOT = str(Path(__file__).resolve().parents[2])
+
+_CHECKS = {
+    "SL010": check_sl010,
+    "SL011": check_sl011,
+    "SL012": check_sl012,
+    "SL013": check_sl013,
+}
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+    cache: Optional[SummaryCache] = None,
+) -> FlowReport:
+    """Run the whole pipeline: extract (cached) -> link -> analyses."""
+    wall_start = time.perf_counter()
+    cache = cache if cache is not None else NullCache()
+    report = FlowReport()
+    phase = report.phase_seconds
+
+    t0 = time.perf_counter()
+    modules: Dict[str, ModuleSummary] = {}
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        fingerprint = source_fingerprint(source)
+        summary = cache.get(fingerprint)
+        # Same resolved file (spelled relative or absolute) is a hit;
+        # a different file with colliding content must re-extract so
+        # relpath-scoped rules see the right module identity.
+        if summary is not None and (
+            summary.path == str(path)
+            or Path(summary.path).resolve() == path.resolve()
+        ):
+            report.modules_cached += 1
+        else:
+            summary = extract_module(str(path), source)
+            cache.put(summary)
+            report.modules_parsed += 1
+        modules[summary.relpath] = summary
+        if summary.syntax_error:
+            findings.append(
+                Finding(
+                    path=summary.path,
+                    line=1,
+                    col=1,
+                    rule="SL000",
+                    message=f"syntax error: {summary.syntax_error}",
+                )
+            )
+    report.modules_total = len(modules)
+    phase["extract"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    program = Program(modules.values())
+    program.precise_callers()  # force the reverse-graph build here
+    phase["link"] = time.perf_counter() - t0
+
+    for code, check in _CHECKS.items():
+        if select is not None and code not in select:
+            continue
+        t0 = time.perf_counter()
+        findings.extend(check(program))
+        phase[code.lower()] = time.perf_counter() - t0
+
+    report.findings = sort_findings(apply_suppressions(findings, modules))
+    report.wall_seconds = time.perf_counter() - wall_start
+    return report
+
+
+def list_rules() -> str:
+    lines = ["simflow rules:"]
+    for code, (title, description) in FLOW_RULES.items():
+        lines.append(f"  {code}  {title}")
+        lines.append(f"         {description}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.qa.flow",
+        description=(
+            "Whole-program flow analysis over the simulator sources "
+            "(simflow)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help=f"files or directories to analyze (default: {PACKAGE_ROOT})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help=(
+            "compare against a baseline file and fail only on NEW "
+            f"findings (default file: {DEFAULT_BASELINE})"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help="accept the current findings into the baseline file",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "summary cache directory (default: $REPRO_FLOW_CACHE or "
+            ".simflow-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental summary cache",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    select: Optional[Set[str]] = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+        unknown = select - set(FLOW_RULES)
+        if unknown:
+            print(f"unknown rule codes: {sorted(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or [PACKAGE_ROOT]
+    cache: SummaryCache = (
+        NullCache()
+        if args.no_cache
+        else SummaryCache(resolve_cache_dir(args.cache_dir))
+    )
+    report = analyze_paths(paths, select=select, cache=cache)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report.findings)
+        print(
+            f"simflow: wrote {len(report.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        report.new_findings = new_findings(report.findings, baseline)
+
+    render = {
+        "text": report_text,
+        "json": report_json,
+        "sarif": report_sarif,
+    }[args.format]
+    print(render(report))
+
+    gating = (
+        report.new_findings
+        if report.new_findings is not None
+        else report.findings
+    )
+    return 1 if gating else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""SL012/SL013 — safety of the ``repro.exec`` process-pool boundary.
+
+Everything that crosses into a worker is pickled: the submitted
+callable, its payload (:class:`ScenarioSpec`), and the result envelope
+(``RunSummary``).  A lambda, a bound method, or a field typed with a
+lock/handle/callable fails at runtime — in the *parallel* path only,
+which is exactly the path local quick runs skip.  SL012 checks the
+boundary statically:
+
+- every callable handed to a pool fan-out method must resolve to a
+  module-level project function (lambdas and bound methods are not
+  picklable by name);
+- every annotated field on the boundary dataclasses must be built from
+  whitelisted scalar/container types, enums, or other project
+  dataclasses (checked recursively).
+
+SL013 protects the serial/parallel/cached bit-identical guarantee from
+hidden worker state: starting from the pool-submitted callables, it
+walks the precise call graph and flags any ``global`` write in
+worker-reachable code — a module global mutated in a worker leaks
+state across runs scheduled onto the same pool process.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from repro.qa.findings import Finding
+from repro.qa.flow.callgraph import FuncKey, Program
+from repro.qa.flow.model import ClassInfo
+
+#: Dataclasses whose instances cross the pool boundary.
+BOUNDARY_CLASSES = ("ScenarioSpec", "RunSummary")
+
+#: Annotation identifiers that are always picklable.
+PICKLABLE_TERMINALS = frozenset(
+    {
+        "int",
+        "float",
+        "str",
+        "bool",
+        "bytes",
+        "None",
+        "Any",
+        "Optional",
+        "Union",
+        "Tuple",
+        "List",
+        "Dict",
+        "Set",
+        "FrozenSet",
+        "Sequence",
+        "Mapping",
+        "Iterable",
+        "tuple",
+        "list",
+        "dict",
+        "set",
+        "frozenset",
+        "typing",
+        "Literal",
+        "Path",  # pathlib paths pickle fine
+    }
+)
+
+#: Identifiers that are categorically unpicklable across processes.
+UNPICKLABLE_TERMINALS = frozenset(
+    {
+        "Callable",
+        "Lambda",
+        "Generator",
+        "Iterator",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Thread",
+        "Queue",
+        "socket",
+        "Socket",
+        "Pool",
+        "Process",
+    }
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def _annotation_terminals(annotation: str) -> List[str]:
+    """Every identifier in an annotation string, terminal segment only
+    (``typing.Optional`` -> ``Optional``)."""
+    out = []
+    for token in _IDENT_RE.findall(annotation):
+        out.append(token.split(".")[-1])
+    return out
+
+
+def _field_verdict(
+    program: Program, annotation: str, stack: Set[str]
+) -> str:
+    """Empty string when picklable, else the offending identifier."""
+    for terminal in _annotation_terminals(annotation):
+        if terminal in UNPICKLABLE_TERMINALS:
+            return terminal
+        if terminal in PICKLABLE_TERMINALS:
+            continue
+        owners = program.classes_by_name.get(terminal)
+        if owners:
+            if terminal in stack:
+                continue  # recursive type — already being checked
+            _, klass = owners[0]
+            if klass.is_enum:
+                continue
+            if klass.is_dataclass:
+                verdict = _class_verdict(program, klass, stack | {terminal})
+                if verdict:
+                    return verdict
+                continue
+            return terminal  # arbitrary project class: not vetted
+        # Unknown identifier (stdlib/3rd-party): trust it — the rule
+        # exists to catch the categorical offenders above and project
+        # classes that were never vetted.
+    return ""
+
+
+def _class_verdict(program: Program, klass: ClassInfo, stack: Set[str]) -> str:
+    for field in klass.fields:
+        verdict = _field_verdict(program, field.annotation, stack)
+        if verdict:
+            return verdict
+    return ""
+
+
+def check_sl012(program: Program) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # Pool-submitted callables.
+    for key, func in sorted(program.functions.items()):
+        relpath, _ = key
+        mod = program.modules[relpath]
+        for submit in func.pool_submits:
+            if submit.target_kind == "lambda":
+                findings.append(
+                    Finding(
+                        path=mod.path,
+                        line=submit.line,
+                        col=submit.col,
+                        rule="SL012",
+                        message=(
+                            f"lambda submitted to pool.{submit.method} "
+                            "is not picklable — hoist it to a "
+                            "module-level function"
+                        ),
+                    )
+                )
+                continue
+            targets = program.resolve_precise(key, submit.target)
+            if not targets:
+                continue  # stdlib/external callable: out of reach
+            target_func = program.functions[targets[0]]
+            if target_func.class_name:
+                findings.append(
+                    Finding(
+                        path=mod.path,
+                        line=submit.line,
+                        col=submit.col,
+                        rule="SL012",
+                        message=(
+                            f"pool.{submit.method} target "
+                            f"{target_func.qualname} is a method — "
+                            "bound methods drag their instance across "
+                            "the pickle boundary; use a module-level "
+                            "function"
+                        ),
+                    )
+                )
+
+    # Boundary dataclass fields.
+    for class_name in BOUNDARY_CLASSES:
+        for relpath, klass in program.classes_by_name.get(class_name, ()):
+            mod = program.modules[relpath]
+            for field in klass.fields:
+                verdict = _field_verdict(
+                    program, field.annotation, {class_name}
+                )
+                if verdict:
+                    findings.append(
+                        Finding(
+                            path=mod.path,
+                            line=klass.line,
+                            col=1,
+                            rule="SL012",
+                            message=(
+                                f"{class_name}.{field.name}: "
+                                f"{field.annotation} crosses the worker "
+                                f"boundary but `{verdict}` is not "
+                                "statically picklable"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def worker_reachable(program: Program) -> Set[FuncKey]:
+    """BFS over precise call edges from every pool-submitted callable."""
+    roots: Set[FuncKey] = set()
+    for key, func in program.functions.items():
+        for submit in func.pool_submits:
+            roots.update(program.resolve_precise(key, submit.target))
+    reachable: Set[FuncKey] = set()
+    worklist = list(roots)
+    while worklist:
+        key = worklist.pop()
+        if key in reachable:
+            continue
+        reachable.add(key)
+        worklist.extend(program.precise_callees(key))
+    return reachable
+
+
+def check_sl013(program: Program) -> List[Finding]:
+    findings: List[Finding] = []
+    for key in sorted(worker_reachable(program)):
+        func = program.functions[key]
+        if not func.global_writes:
+            continue
+        relpath, _ = key
+        mod = program.modules[relpath]
+        for name in func.global_writes:
+            findings.append(
+                Finding(
+                    path=mod.path,
+                    line=func.line,
+                    col=1,
+                    rule="SL013",
+                    message=(
+                        f"worker-reachable {func.qualname} declares "
+                        f"`global {name}` — module-global mutation in a "
+                        "pool worker leaks state across runs and breaks "
+                        "the serial/parallel/cached bit-identical "
+                        "guarantee"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,60 @@
+"""Text / JSON / SARIF reporters for a :class:`FlowReport`."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.qa.findings import render_text, sort_findings
+from repro.qa.flow.model import FLOW_RULES, FlowReport
+from repro.qa.sarif import render_sarif
+
+
+def report_text(report: FlowReport) -> str:
+    lines = []
+    shown = (
+        report.new_findings
+        if report.new_findings is not None
+        else report.findings
+    )
+    body = render_text(shown)
+    if body:
+        lines.append(body)
+    lines.append(
+        "simflow: {findings} finding(s){new} | {parsed} parsed, "
+        "{cached} cached of {total} modules | {wall:.2f}s".format(
+            findings=len(report.findings),
+            new=(
+                f", {len(report.new_findings)} new vs baseline"
+                if report.new_findings is not None
+                else ""
+            ),
+            parsed=report.modules_parsed,
+            cached=report.modules_cached,
+            total=report.modules_total,
+            wall=report.wall_seconds,
+        )
+    )
+    return "\n".join(lines)
+
+
+def report_json(report: FlowReport) -> str:
+    payload = {
+        "findings": [asdict(f) for f in sort_findings(report.findings)],
+        "new_findings": (
+            [asdict(f) for f in sort_findings(report.new_findings)]
+            if report.new_findings is not None
+            else None
+        ),
+        "stats": report.stats(),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def report_sarif(report: FlowReport) -> str:
+    shown = (
+        report.new_findings
+        if report.new_findings is not None
+        else report.findings
+    )
+    return render_sarif(shown, tool_name="simflow", rules=FLOW_RULES)

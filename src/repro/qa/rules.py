@@ -20,7 +20,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.qa.findings import Finding
 
@@ -127,6 +127,60 @@ def _first_str_arg(call: ast.Call) -> Tuple[str, bool]:
     return "", False
 
 
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSION_NODES = (
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+@dataclass
+class NodeIndex:
+    """Shared per-module node lists, built in ONE walk of the AST.
+
+    Every rule used to re-walk the whole tree; now the scanner builds
+    this index once and each rule iterates only the node kind it cares
+    about.  ``loop_calls`` additionally records which calls sit inside
+    a repeating region (loop body/orelse, comprehension) — the SL006
+    question — so that rule needs no walk of its own either.
+    """
+
+    calls: List[ast.Call] = field(default_factory=list)
+    imports: List[ast.Import] = field(default_factory=list)
+    import_froms: List[ast.ImportFrom] = field(default_factory=list)
+    functions: List[ast.AST] = field(default_factory=list)
+    loop_calls: List[ast.Call] = field(default_factory=list)
+
+
+def build_index(tree: ast.Module) -> NodeIndex:
+    index = NodeIndex()
+
+    def visit(node: ast.AST, in_loop: bool) -> None:
+        if isinstance(node, ast.Call):
+            index.calls.append(node)
+            if in_loop:
+                index.loop_calls.append(node)
+        elif isinstance(node, ast.Import):
+            index.imports.append(node)
+        elif isinstance(node, ast.ImportFrom):
+            index.import_froms.append(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            index.functions.append(node)
+        repeating: Tuple[ast.AST, ...] = ()
+        if isinstance(node, _LOOP_NODES):
+            # Only the body repeats; the iterable expression runs once.
+            repeating = tuple(node.body) + tuple(node.orelse)
+        elif isinstance(node, _COMPREHENSION_NODES):
+            repeating = tuple(ast.iter_child_nodes(node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_loop or any(child is c for c in repeating))
+
+    visit(tree, False)
+    return index
+
+
 @dataclass
 class Module:
     """One parsed file under lint."""
@@ -135,10 +189,17 @@ class Module:
     source: str
     tree: ast.Module
     relpath: str = ""
+    _index: Optional[NodeIndex] = None
 
     def __post_init__(self) -> None:
         if not self.relpath:
             self.relpath = package_relpath(self.path)
+
+    @property
+    def index(self) -> NodeIndex:
+        if self._index is None:
+            self._index = build_index(self.tree)
+        return self._index
 
 
 @dataclass
@@ -187,6 +248,9 @@ class Rule:
 
     code = "SL000"
     title = "abstract"
+    #: True for rules that judge against cross-file registries and so
+    #: cannot complete inside a single-file worker (``--jobs``).
+    needs_context = False
 
     def applies_to(self, module: Module) -> bool:
         return True
@@ -199,6 +263,67 @@ class Rule:
             path=module.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A possible finding from a registry-dependent rule.
+
+    In ``--jobs`` mode workers cannot judge these (the registries live
+    in *other* files), so they ship candidates back to the parent,
+    which judges them against the merged :class:`LintContext`.  Serial
+    mode uses the same collect-then-judge path so there is exactly one
+    implementation of each rule's logic.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    attr: str  #: the call attribute (``emit``, ``record_decision``, ...)
+    name: str  #: the literal first argument ('' when non-literal)
+    literal: bool
+
+
+class ContextRule(Rule):
+    """A rule split into per-file collection + registry judgement."""
+
+    needs_context = True
+
+    def collect(self, module: Module) -> Iterator[Candidate]:
+        raise NotImplementedError
+
+    def judge(self, cand: Candidate, ctx: LintContext) -> Optional[Finding]:
+        raise NotImplementedError
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        for cand in self.collect(module):
+            finding = self.judge(cand, ctx)
+            if finding is not None:
+                yield finding
+
+    def _candidate(self, module: Module, node: ast.Call) -> Candidate:
+        func = node.func
+        attr = func.attr if isinstance(func, ast.Attribute) else ""
+        name, literal = _first_str_arg(node)
+        return Candidate(
+            rule=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            attr=attr,
+            name=name,
+            literal=literal,
+        )
+
+    def _cand_finding(self, cand: Candidate, message: str) -> Finding:
+        return Finding(
+            path=cand.path,
+            line=cand.line,
+            col=cand.col,
             rule=self.code,
             message=message,
         )
@@ -229,14 +354,12 @@ class WallClockRule(Rule):
 
     def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
         from_time_names: Set[str] = set()
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ImportFrom) and node.module == "time":
+        for node in module.index.import_froms:
+            if node.module == "time":
                 for alias in node.names:
                     if alias.name in _WALL_CLOCK_FROM_TIME:
                         from_time_names.add(alias.asname or alias.name)
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in module.index.calls:
             dotted = _dotted_name(node.func)
             if dotted in _WALL_CLOCK_CALLS or dotted in from_time_names:
                 yield self._finding(
@@ -262,17 +385,17 @@ class StdlibRandomRule(Rule):
     title = "no stdlib random outside repro.sim.rng"
 
     def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name == "random" or alias.name.startswith("random."):
-                        yield self._finding(
-                            module,
-                            node,
-                            "stdlib 'random' imported; thread a seeded "
-                            "repro.sim.rng stream instead",
-                        )
-            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+        for node in module.index.imports:
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self._finding(
+                        module,
+                        node,
+                        "stdlib 'random' imported; thread a seeded "
+                        "repro.sim.rng stream instead",
+                    )
+        for node in module.index.import_froms:
+            if node.module == "random":
                 yield self._finding(
                     module,
                     node,
@@ -281,7 +404,7 @@ class StdlibRandomRule(Rule):
                 )
 
 
-class UndeclaredNameRule(Rule):
+class UndeclaredNameRule(ContextRule):
     """SL003: every emitted event / registered metric name is declared.
 
     A typo'd event name in ``trace.emit("node.rx.intrest", ...)``
@@ -297,32 +420,33 @@ class UndeclaredNameRule(Rule):
     code = "SL003"
     title = "event/metric names must be declared in a registry"
 
-    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+    def collect(self, module: Module) -> Iterator[Candidate]:
+        for node in module.index.calls:
             func = node.func
             if not isinstance(func, ast.Attribute):
                 continue
-            attr = func.attr
-            if attr in _EVENT_CALL_ATTRS and ctx.declared_events:
-                name, literal = _first_str_arg(node)
-                if literal and name != "*" and name not in ctx.declared_events:
-                    yield self._finding(
-                        module,
-                        node,
-                        f"event name {name!r} is not declared in any "
-                        f"event registry (KNOWN_EVENTS / SPAN_EVENTS)",
-                    )
-            elif attr in _METRIC_CALL_ATTRS and ctx.declared_metrics:
-                name, literal = _first_str_arg(node)
-                if literal and name not in ctx.declared_metrics:
-                    yield self._finding(
-                        module,
-                        node,
-                        f"metric name {name!r} is not declared in "
-                        f"METRIC_NAMES",
-                    )
+            if func.attr in _EVENT_CALL_ATTRS or func.attr in _METRIC_CALL_ATTRS:
+                yield self._candidate(module, node)
+
+    def judge(self, cand: Candidate, ctx: LintContext) -> Optional[Finding]:
+        if cand.attr in _EVENT_CALL_ATTRS:
+            if not ctx.declared_events or not cand.literal:
+                return None
+            if cand.name != "*" and cand.name not in ctx.declared_events:
+                return self._cand_finding(
+                    cand,
+                    f"event name {cand.name!r} is not declared in any "
+                    f"event registry (KNOWN_EVENTS / SPAN_EVENTS)",
+                )
+            return None
+        if not ctx.declared_metrics or not cand.literal:
+            return None
+        if cand.name not in ctx.declared_metrics:
+            return self._cand_finding(
+                cand,
+                f"metric name {cand.name!r} is not declared in METRIC_NAMES",
+            )
+        return None
 
 
 class MutableDefaultRule(Rule):
@@ -343,9 +467,7 @@ class MutableDefaultRule(Rule):
     }
 
     def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
+        for node in module.index.functions:
             defaults = list(node.args.defaults) + [
                 d for d in node.args.kw_defaults if d is not None
             ]
@@ -383,9 +505,7 @@ class ScheduleMisuseRule(Rule):
     title = "schedule() misuse: negative delay / callback invoked"
 
     def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in module.index.calls:
             func_name = _dotted_name(node.func).split(".")[-1]
             if func_name not in ("schedule", "schedule_at"):
                 continue
@@ -433,21 +553,13 @@ class DirectRunScenarioRule(Rule):
     code = "SL006"
     title = "no run_scenario loops in experiment drivers"
 
-    _LOOPS = (ast.For, ast.AsyncFor, ast.While)
-    _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
-
     def applies_to(self, module: Module) -> bool:
         if "/" not in module.relpath:
             return True
         return module.relpath.startswith("experiments/")
 
     def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        yield from self._walk(module, module.tree, in_loop=False)
-
-    def _walk(
-        self, module: Module, node: ast.AST, in_loop: bool
-    ) -> Iterator[Finding]:
-        if in_loop and isinstance(node, ast.Call):
+        for node in module.index.loop_calls:
             name = _dotted_name(node.func).split(".")[-1]
             if name == "run_scenario":
                 yield self._finding(
@@ -457,18 +569,9 @@ class DirectRunScenarioRule(Rule):
                     "ScenarioSpec values and route them through "
                     "repro.exec.run_specs (parallel fan-out + run cache)",
                 )
-        loop_children: Tuple[ast.AST, ...] = ()
-        if isinstance(node, self._LOOPS):
-            # Only the body repeats; the iterable expression runs once.
-            loop_children = tuple(node.body) + tuple(node.orelse)
-        elif isinstance(node, self._COMPREHENSIONS):
-            loop_children = tuple(ast.iter_child_nodes(node))
-        for child in ast.iter_child_nodes(node):
-            child_in_loop = in_loop or any(child is c for c in loop_children)
-            yield from self._walk(module, child, child_in_loop)
 
 
-class FleetEventRule(Rule):
+class FleetEventRule(ContextRule):
     """SL007: fleet/engine event emissions must be declared.
 
     The fleet observability layer (:mod:`repro.obs.fleet`,
@@ -493,28 +596,25 @@ class FleetEventRule(Rule):
             return True
         return module.relpath.startswith(("obs/", "exec/"))
 
-    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        if not ctx.declared_events:
-            return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+    def collect(self, module: Module) -> Iterator[Candidate]:
+        for node in module.index.calls:
             func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            if func.attr not in self._EMIT_ATTRS:
-                continue
-            name, literal = _first_str_arg(node)
-            if literal and name not in ctx.declared_events:
-                yield self._finding(
-                    module,
-                    node,
-                    f"fleet event name {name!r} is not declared in any "
-                    f"event registry (FLEET_EVENTS / *_EVENTS)",
-                )
+            if isinstance(func, ast.Attribute) and func.attr in self._EMIT_ATTRS:
+                yield self._candidate(module, node)
+
+    def judge(self, cand: Candidate, ctx: LintContext) -> Optional[Finding]:
+        if not ctx.declared_events or not cand.literal:
+            return None
+        if cand.name not in ctx.declared_events:
+            return self._cand_finding(
+                cand,
+                f"fleet event name {cand.name!r} is not declared in any "
+                f"event registry (FLEET_EVENTS / *_EVENTS)",
+            )
+        return None
 
 
-class DecisionKindRule(Rule):
+class DecisionKindRule(ContextRule):
     """SL008: audit decision kinds must be declared in DECISION_KINDS.
 
     Every access-control decision enters the audit stream through
@@ -537,35 +637,31 @@ class DecisionKindRule(Rule):
             return True
         return module.relpath.startswith(("obs/", "core/"))
 
-    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        if not ctx.declared_decisions:
-            return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+    def collect(self, module: Module) -> Iterator[Candidate]:
+        for node in module.index.calls:
             func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            if func.attr not in self._CALL_ATTRS:
-                continue
-            name, literal = _first_str_arg(node)
-            if not literal:
-                yield self._finding(
-                    module,
-                    node,
-                    "record_decision kind must be a string literal so the "
-                    "decision namespace stays statically checkable",
-                )
-            elif name not in ctx.declared_decisions:
-                yield self._finding(
-                    module,
-                    node,
-                    f"audit decision kind {name!r} is not declared in "
-                    f"DECISION_KINDS (repro.obs.audit)",
-                )
+            if isinstance(func, ast.Attribute) and func.attr in self._CALL_ATTRS:
+                yield self._candidate(module, node)
+
+    def judge(self, cand: Candidate, ctx: LintContext) -> Optional[Finding]:
+        if not ctx.declared_decisions:
+            return None
+        if not cand.literal:
+            return self._cand_finding(
+                cand,
+                "record_decision kind must be a string literal so the "
+                "decision namespace stays statically checkable",
+            )
+        if cand.name not in ctx.declared_decisions:
+            return self._cand_finding(
+                cand,
+                f"audit decision kind {cand.name!r} is not declared in "
+                f"DECISION_KINDS (repro.obs.audit)",
+            )
+        return None
 
 
-class PerfPhaseRule(Rule):
+class PerfPhaseRule(ContextRule):
     """SL009: perf phase names must be declared in PERF_PHASES.
 
     The performance observatory's phase taxonomy
@@ -589,32 +685,28 @@ class PerfPhaseRule(Rule):
             return True
         return module.relpath.startswith(SIM_AFFECTING_PREFIXES + ("obs/",))
 
-    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
-        if not ctx.declared_phases:
-            return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+    def collect(self, module: Module) -> Iterator[Candidate]:
+        for node in module.index.calls:
             func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            if func.attr not in self._CALL_ATTRS:
-                continue
-            name, literal = _first_str_arg(node)
-            if not literal:
-                yield self._finding(
-                    module,
-                    node,
-                    f"perf {func.attr}() phase name must be a string literal "
-                    f"so the phase taxonomy stays statically checkable",
-                )
-            elif name not in ctx.declared_phases:
-                yield self._finding(
-                    module,
-                    node,
-                    f"perf phase {name!r} is not declared in PERF_PHASES "
-                    f"(repro.obs.perf)",
-                )
+            if isinstance(func, ast.Attribute) and func.attr in self._CALL_ATTRS:
+                yield self._candidate(module, node)
+
+    def judge(self, cand: Candidate, ctx: LintContext) -> Optional[Finding]:
+        if not ctx.declared_phases:
+            return None
+        if not cand.literal:
+            return self._cand_finding(
+                cand,
+                f"perf {cand.attr}() phase name must be a string literal "
+                f"so the phase taxonomy stays statically checkable",
+            )
+        if cand.name not in ctx.declared_phases:
+            return self._cand_finding(
+                cand,
+                f"perf phase {cand.name!r} is not declared in PERF_PHASES "
+                f"(repro.obs.perf)",
+            )
+        return None
 
 
 #: The active rule set, in code order.

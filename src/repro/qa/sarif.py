@@ -1,0 +1,92 @@
+"""Shared SARIF 2.1.0 rendering for simlint and simflow findings.
+
+One run object per invocation; rule metadata comes from the caller so
+each analyzer publishes its own catalogue.  The output targets GitHub
+code scanning's SARIF ingestion: `uri` is the repo-relative path and
+every result carries the rule id, message, and a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.qa.findings import Finding, sort_findings
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    tool_name: str,
+    rules: Mapping[str, Tuple[str, str]],
+    tool_version: str = "1.0.0",
+) -> str:
+    """SARIF 2.1.0 log (as a string) for one analyzer run.
+
+    ``rules`` maps rule code -> (short name, full description).
+    """
+    ordered = sort_findings(findings)
+    used_codes = sorted({f.rule for f in ordered} | set(rules))
+    rule_objects = []
+    rule_index: Dict[str, int] = {}
+    for idx, code in enumerate(used_codes):
+        name, description = rules.get(code, (code, code))
+        rule_index[code] = idx
+        rule_objects.append(
+            {
+                "id": code,
+                "name": name.replace(" ", "-"),
+                "shortDescription": {"text": name},
+                "fullDescription": {"text": description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+
+    results = []
+    for finding in ordered:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index.get(finding.rule, -1),
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": max(finding.col, 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "rules": rule_objects,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

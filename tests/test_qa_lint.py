@@ -686,7 +686,37 @@ class TestReporting:
         dirty.write_text("import random\n")
         assert main([str(dirty), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload[0]["rule"] == "SL002"
+        assert payload["findings"][0]["rule"] == "SL002"
+        assert payload["stats"]["findings"] == 1
+        assert payload["stats"]["wall_seconds"] >= 0.0
+
+    def test_cli_sarif_output(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main([str(dirty), "--format", "sarif"]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        assert [r["ruleId"] for r in run["results"]] == ["SL002"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"SL000", "SL002", "SL009"} <= rule_ids
+
+    def test_parallel_matches_serial(self, tmp_path):
+        # Registry in one file, a bad emit in another: the judge phase
+        # must see the *merged* registries whichever path produced the
+        # candidates.
+        (tmp_path / "registry.py").write_text(
+            'KNOWN_EVENTS = ("node.rx",)\n'
+        )
+        (tmp_path / "emitter.py").write_text(
+            'def go(trace):\n    trace.emit("node.rxx", 1)\n'
+        )
+        (tmp_path / "dirty.py").write_text("import random\n")
+        serial = lint_paths([str(tmp_path)], jobs=1)
+        parallel = lint_paths([str(tmp_path)], jobs=2)
+        assert serial == parallel
+        assert codes(serial) == ["SL002", "SL003"]
 
 
 class TestPackageRelpath:
