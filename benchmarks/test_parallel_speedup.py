@@ -78,7 +78,10 @@ def test_parallel_matches_serial_and_speeds_up(tmp_path):
     speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
     cache_speedup = serial_wall / cached_wall if cached_wall else float("inf")
 
+    from repro.obs.history import host_metadata
+
     report = {
+        "host": host_metadata(),
         "sweep": {
             "topologies": list(TOPOLOGIES),
             "seeds": list(SEEDS),

@@ -151,8 +151,11 @@ def test_simcore_throughput():
     # …and its phase self-times must explain the observed loop wall.
     assert report["phase_coverage"] >= 0.9
 
+    from repro.obs.history import host_metadata
+
     document = {
         "benchmark": "simcore_throughput",
+        "host": host_metadata(),
         "scenario": {
             "topology": 1,
             "duration": DURATION,

@@ -269,7 +269,10 @@ class Client(Node):
         if data.is_tag_response():
             self._on_tag_response(data)
             return
-        pending = self._outstanding.pop(Name(data.name), None)
+        name = data.name
+        if type(name) is not Name:
+            name = Name(name)
+        pending = self._outstanding.pop(name, None)
         if pending is None:
             return
         pending.timeout_event.cancel()

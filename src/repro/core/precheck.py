@@ -41,7 +41,8 @@ def edge_precheck(tag: Tag, content_name: NameLike, now: float) -> Optional[Nack
     >>> edge_precheck(t, '/prov-0/obj-1/chunk-0', now=99.0)
     <NackReason.EXPIRED_TAG: 'expired-tag'>
     """
-    content_name = Name(content_name)
+    if type(content_name) is not Name:
+        content_name = Name(content_name)
     if len(content_name) == 0:
         return NackReason.PREFIX_MISMATCH
     if not tag.provider_prefix().is_prefix_of(content_name):

@@ -28,7 +28,7 @@ from repro.ndn.name import Name
 _FIXED_FIELDS_SIZE = 8 + 4 + 32  # expiry + access level + access path
 
 
-@dataclass
+@dataclass(slots=True)
 class Tag:
     """A provider-issued, provider-signed authentication tag.
 
@@ -60,6 +60,16 @@ class Tag:
     access_path: bytes
     expiry: float
     signature: bytes = b""
+    # Lazy caches (excluded from identity): tags are immutable once
+    # signed, so the cache key, wire size, and provider prefix are each
+    # computed at most once per instance instead of per packet hop.
+    _cache_key: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _esize: int = field(default=-1, init=False, repr=False, compare=False)
+    _prefix: Optional[Name] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.access_level = validate_level(self.access_level)
@@ -67,7 +77,6 @@ class Tag:
             raise ValueError(
                 f"access path must be 32 bytes, got {len(self.access_path)}"
             )
-        self._cache_key: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # Canonical encoding and signing
@@ -105,10 +114,12 @@ class Tag:
         Key locators look like ``/prov-3/KEY/pub``; the provider prefix
         is the first component.
         """
-        locator = Name(self.provider_key_locator)
-        if len(locator) == 0:
-            return locator
-        return locator.prefix(1)
+        prefix = self._prefix
+        if prefix is None:
+            locator = Name(self.provider_key_locator)
+            prefix = locator if len(locator) == 0 else locator.prefix(1)
+            self._prefix = prefix
+        return prefix
 
     def is_expired(self, now: float) -> bool:
         return self.expiry < now
@@ -130,12 +141,16 @@ class Tag:
 
     def encoded_size(self) -> int:
         """Wire-size estimate in bytes."""
-        return (
-            len(self.provider_key_locator)
-            + len(self.client_key_locator)
-            + _FIXED_FIELDS_SIZE
-            + len(self.signature)
-        )
+        size = self._esize
+        if size < 0:
+            size = (
+                len(self.provider_key_locator)
+                + len(self.client_key_locator)
+                + _FIXED_FIELDS_SIZE
+                + len(self.signature)
+            )
+            self._esize = size
+        return size
 
     def copy(self) -> "Tag":
         return replace(self)

@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.sim.rng import Stream, seeded_stream
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpCost:
     """A truncated-normal latency distribution for one operation."""
 
@@ -41,7 +41,7 @@ class OpCost:
         return max(0.0, rng.gauss(self.mean, self.std))
 
 
-@dataclass
+@dataclass(slots=True)
 class ComputationCostModel:
     """Named operation costs consumed by router protocol code.
 
@@ -62,12 +62,19 @@ class ComputationCostModel:
     perf: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def sample(self, op: str, rng: Stream) -> float:
+        # Allocation-free charging: one dict probe plus the RNG draw.
+        # The draw is inlined from OpCost.sample (bit-identical clamp and
+        # gauss call) because this runs several times per forwarded
+        # Interest on TACTIC routers.
         cost = self.costs.get(op)
         if cost is None:
             return 0.0
         perf = self.perf
         if perf is None:
-            return cost.sample(rng)
+            std = cost.std
+            if std <= 0.0:
+                return max(0.0, cost.mean)
+            return max(0.0, rng.gauss(cost.mean, std))
         began = perf.clock()
         try:
             return cost.sample(rng)

@@ -25,7 +25,7 @@ from repro.ndn.packets import Data
 _POLICIES = ("lru", "fifo", "lfu")
 
 
-class ContentStore:
+class ContentStore:  # simlint: disable=SL014 (QA tests stub methods per instance)
     """Exact-match cache of Data packets.
 
     Parameters
@@ -92,7 +92,9 @@ class ContentStore:
         clean.tag = None
         clean.nack = None
         clean.flag_f = 0.0
-        name = Name(clean.name)
+        name = clean.name
+        if type(name) is not Name:
+            name = Name(name)
         if name in self._store:
             if self.policy == "lru":
                 self._store.move_to_end(name)
@@ -126,14 +128,16 @@ class ContentStore:
             return self._lookup(name, now)
 
     def _lookup(self, name: NameLike, now: Optional[float] = None) -> Optional[Data]:
-        name = Name(name)
+        if type(name) is not Name:
+            name = Name(name)
         data = self._store.get(name)
         if data is None:
             self.misses += 1
             return None
-        if self.policy == "lru":
+        policy = self.policy
+        if policy == "lru":
             self._store.move_to_end(name)
-        if self.policy == "lfu":
+        elif policy == "lfu":
             self._frequency[name] = self._frequency.get(name, 0) + 1
         self.hits += 1
         if self.on_hit is not None:

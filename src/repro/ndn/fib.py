@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.ndn.name import Name, NameLike
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NextHop:
     """One candidate upstream face for a prefix."""
 
@@ -40,8 +40,16 @@ class Fib:
     True
     """
 
+    __slots__ = ("_entries", "_memo")
+
     def __init__(self) -> None:
         self._entries: Dict[Tuple[str, ...], List[NextHop]] = {}
+        # Longest-prefix-match results keyed by the *full* looked-up
+        # component tuple.  Routers look up a small set of content names
+        # over and over, so after the first walk every further lookup is
+        # one dict probe — the exact-match fast path.  Any mutation
+        # invalidates the whole memo (routing changes are rare).
+        self._memo: Dict[Tuple[str, ...], List[NextHop]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,6 +65,7 @@ class Fib:
         hops.append(NextHop(face=face, cost=cost))
         hops.sort(key=lambda h: h.cost)
         self._entries[key] = hops
+        self._memo.clear()
 
     def add_if_cheaper(self, prefix: NameLike, face: object, cost: float) -> bool:
         """Add the hop unless an existing one is at least as cheap.
@@ -73,6 +82,7 @@ class Fib:
 
     def remove(self, prefix: NameLike) -> None:
         self._entries.pop(Name(prefix).components, None)
+        self._memo.clear()
 
     def remove_nexthop(self, prefix: NameLike, face: object) -> bool:
         """Drop one face from a prefix's hop set (link-failure repair)."""
@@ -87,6 +97,7 @@ class Fib:
             self._entries[key] = kept
         else:
             del self._entries[key]
+        self._memo.clear()
         return True
 
     def lookup(self, name: NameLike) -> Optional[object]:
@@ -103,12 +114,23 @@ class Fib:
 
     def lookup_nexthops(self, name: NameLike) -> List[NextHop]:
         """All candidate hops for the longest matching prefix."""
-        components = Name(name).components
+        if type(name) is Name:
+            components = name.components
+        else:
+            components = Name(name).components
+        memo = self._memo
+        cached = memo.get(components)
+        if cached is not None:
+            return cached
+        entries = self._entries
+        result: List[NextHop] = []
         for length in range(len(components), -1, -1):
-            hops = self._entries.get(components[:length])
+            hops = entries.get(components[:length])
             if hops is not None:
-                return hops
-        return []
+                result = hops
+                break
+        memo[components] = result
+        return result
 
     def purge_face(self, face: object) -> int:
         """Remove ``face`` from every entry (its link died); returns the
@@ -123,6 +145,8 @@ class Fib:
                     self._entries[key] = kept
                 else:
                     del self._entries[key]
+        if touched:
+            self._memo.clear()
         return touched
 
     def prefixes(self) -> list:

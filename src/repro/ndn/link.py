@@ -29,29 +29,62 @@ class Face:
 
     _counter = 0
 
+    __slots__ = ("face_id", "node", "link", "peer", "remote_face")
+
     def __init__(self, node: "Node", link: "Link") -> None:
         Face._counter += 1
         self.face_id = Face._counter
         self.node = node
         self.link = link
-
-    @property
-    def peer(self) -> "Node":
-        return self.link.other_endpoint(self.node)
-
-    @property
-    def remote_face(self) -> "Face":
-        return self.link.face_of(self.peer)
+        #: Wired by :class:`Link` once both endpoints exist.  Plain
+        #: slot attributes (not properties) so the forwarding fast path
+        #: below pays attribute reads, not descriptor calls.
+        self.peer: "Node" = None  # type: ignore[assignment]
+        self.remote_face: "Face" = None  # type: ignore[assignment]
 
     def send(self, packet: object) -> bool:
         """Transmit ``packet`` toward the peer; False if tail-dropped."""
-        return self.link.transmit(packet, src=self.node)
+        link = self.link
+        sim = link.sim
+        trace = sim.trace
+        if (
+            link.perf is not None
+            or not link.up
+            or link.loss_rate > 0.0
+            or (trace._n_subs and trace.enabled)
+        ):
+            return link.transmit(packet, src=self.node)
+        # Allocation-free fast path for the headline configuration
+        # (link up, lossless, no observatory, no trace subscriber): the
+        # same serialization arithmetic — identical expression forms,
+        # so float results are bit-identical — and the same
+        # ``schedule_at`` call as :meth:`Link._transmit`, minus the
+        # branches that configuration can never take.  The drop-tail
+        # case defers to the slow path, which recomputes the identical
+        # backlog (no RNG, no state mutated yet) and handles counters
+        # and span traces.
+        now = sim._now
+        size = packet.size_bytes()
+        tx_time = size * 8.0 / link.bandwidth_bps
+        next_free = link._next_free
+        node_id = self.node.node_id
+        busy = next_free[node_id]
+        start = now if now >= busy else busy
+        if (start - now) * link.bandwidth_bps / 8.0 > link.queue_bytes:
+            return link._transmit(packet, src=self.node)
+        next_free[node_id] = start + tx_time
+        sim.schedule_at(
+            start + tx_time + link.latency, self.peer.receive, packet, self.remote_face
+        )
+        link.packets_sent += 1
+        link.bytes_sent += size
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Face {self.face_id} {self.node.node_id}->{self.peer.node_id}>"
 
 
-class Link:
+class Link:  # simlint: disable=SL014 (one per edge; observability hooks attach attributes)
     """A duplex point-to-point link between two nodes."""
 
     def __init__(
@@ -91,8 +124,12 @@ class Link:
         #: ``transmit`` charges itself to the ``ndn.link`` phase
         #: (``None`` = off, same idiom as the component ``san`` hooks).
         self.perf: Optional[Any] = None
-        node_a.attach_face(self._faces[node_a.node_id])
-        node_b.attach_face(self._faces[node_b.node_id])
+        face_a = self._faces[node_a.node_id]
+        face_b = self._faces[node_b.node_id]
+        face_a.peer, face_a.remote_face = node_b, face_b
+        face_b.peer, face_b.remote_face = node_a, face_a
+        node_a.attach_face(face_a)
+        node_b.attach_face(face_b)
 
     def face_of(self, node: "Node") -> Face:
         return self._faces[node.node_id]

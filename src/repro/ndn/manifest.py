@@ -28,7 +28,7 @@ from repro.ndn.name import Name, NameLike
 MANIFEST_COMPONENT = "manifest"
 
 
-@dataclass
+@dataclass(slots=True)
 class Manifest:
     """Digest list for one content object, signed by its publisher."""
 

@@ -27,7 +27,7 @@ class Name:
     Name('/prov-0/obj-3/chunk-7/meta')
     """
 
-    __slots__ = ("components", "_uri", "_hash")
+    __slots__ = ("components", "_uri", "_hash", "_esize")
 
     def __new__(cls, value: NameLike = ()) -> "Name":
         # Fast path: Name(name) returns the same immutable instance, so
@@ -52,6 +52,12 @@ class Name:
         object.__setattr__(self, "components", components)
         object.__setattr__(self, "_uri", "/" + "/".join(components))
         object.__setattr__(self, "_hash", hash(components))
+        # Wire size is fixed by the (immutable) components, so it is
+        # computed once here instead of per size_bytes() call on the
+        # forwarding hot path.
+        object.__setattr__(
+            self, "_esize", 2 * len(components) + sum(map(len, components))
+        )
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Name is immutable")
@@ -119,4 +125,4 @@ class Name:
 
     def encoded_size(self) -> int:
         """Approximate wire size: 2 bytes TLV per component + text."""
-        return 2 * len(self.components) + sum(len(c) for c in self.components)
+        return self._esize

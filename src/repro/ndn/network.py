@@ -18,7 +18,7 @@ from repro.ndn.node import Node
 from repro.sim.engine import Simulator
 
 
-class Network:
+class Network:  # simlint: disable=SL014 (one per scenario)
     """Container wiring nodes, links, and routes together."""
 
     def __init__(self, sim: Simulator) -> None:

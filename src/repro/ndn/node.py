@@ -31,7 +31,7 @@ from repro.sim.engine import Simulator
 from repro.sim.tracing import TraceHub
 
 
-class Node:
+class Node:  # simlint: disable=SL014 (SimSan patches send/on_interest per instance)
     """A generic NDN forwarder.
 
     Parameters
@@ -98,28 +98,36 @@ class Node:
     # Packet I/O
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_face: Face) -> None:
-        """Entry point invoked by links on packet arrival."""
+        """Entry point invoked by links on packet arrival.
+
+        The dispatch checks ``type(...) is`` before ``isinstance`` (the
+        packet classes are never subclassed on the wire), and the rx
+        trace emissions are guarded on an actual subscriber being
+        present — ``emit`` would early-out anyway, but only after the
+        payload kwargs (including ``str(name)``) had been built.
+        """
         trace = self.sim.trace
-        if isinstance(packet, Interest):
+        cls = type(packet)
+        if cls is Interest or isinstance(packet, Interest):
             self.interests_received += 1
-            if trace.enabled:
+            if trace._n_subs and trace.enabled:
                 trace.emit(
                     "node.rx.interest", self.sim.now,
                     node=self.node_id, content=str(packet.name), nonce=packet.nonce,
                 )
             self.on_interest(packet, in_face)
-        elif isinstance(packet, Data):
+        elif cls is Data or isinstance(packet, Data):
             self.data_received += 1
-            if trace.enabled:
+            if trace._n_subs and trace.enabled:
                 trace.emit(
                     "node.rx.data", self.sim.now,
                     node=self.node_id, content=str(packet.name),
                     nack=packet.nack.reason.value if packet.nack else None,
                 )
             self.on_data(packet, in_face)
-        elif isinstance(packet, Nack):
+        elif cls is Nack or isinstance(packet, Nack):
             self.nacks_received += 1
-            if trace.enabled:
+            if trace._n_subs and trace.enabled:
                 trace.emit(
                     "node.rx.nack", self.sim.now,
                     node=self.node_id, content=str(packet.name),
@@ -132,7 +140,7 @@ class Node:
     def send(self, face: Face, packet: Packet, delay: float = 0.0) -> None:
         """Send ``packet`` on ``face``, after an optional compute delay."""
         trace = self.sim.trace
-        if trace.active:
+        if trace._n_subs and trace.enabled:
             self._trace_tx(trace, packet, delay)
         if delay > 0.0:
             self.sim.schedule(delay, face.send, packet)
@@ -214,7 +222,12 @@ class Node:
 
     def compute_delay(self, *ops: str) -> float:
         """Sample and sum the latencies of the named operations."""
-        return sum(self.cost_model.sample(op, self.rng) for op in ops)
+        sample = self.cost_model.sample
+        rng = self.rng
+        total = 0.0
+        for op in ops:
+            total += sample(op, rng)
+        return total
 
     # ------------------------------------------------------------------
     # Default NDN behaviour (overridden by protocol roles)
@@ -248,6 +261,9 @@ class Node:
         if not faces:
             self.unroutable_drops += 1
             return False
+        if len(faces) == 1:
+            self.send(faces[0], interest, delay)
+            return True
         for index, face in enumerate(faces):
             self.send(face, interest if index == 0 else interest.copy(), delay)
         return True
@@ -271,7 +287,7 @@ class Node:
         return f"<{type(self).__name__} {self.node_id}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class _ApPending:
     nonce: int
     tag_key: Optional[bytes]
@@ -279,7 +295,7 @@ class _ApPending:
     expires_at: float
 
 
-class AccessPoint(Node):
+class AccessPoint(Node):  # simlint: disable=SL014 (Node subclass; same patching)
     """Wireless access-point relay between clients and an edge router.
 
     Forwards every client Interest upstream without aggregation,
@@ -304,6 +320,11 @@ class AccessPoint(Node):
         records = self._pending.get(name)
         if not records:
             return
+        # Records append in arrival order with a fixed lifetime, so
+        # expires_at is nondecreasing: if the oldest is live, all are —
+        # the common case skips the rebuild entirely.
+        if records[0].expires_at >= now:
+            return
         live = [r for r in records if r.expires_at >= now]
         if live:
             self._pending[name] = live
@@ -316,7 +337,9 @@ class AccessPoint(Node):
         if in_face is self.uplink:
             self.unroutable_drops += 1
             return
-        name = Name(interest.name)
+        name = interest.name
+        if type(name) is not Name:
+            name = Name(name)
         self._purge(name)
         tag_key = interest.tag.cache_key() if interest.tag is not None else None
         self._pending.setdefault(name, []).append(
@@ -334,7 +357,9 @@ class AccessPoint(Node):
         self.send(self.uplink, out)
 
     def on_data(self, data: Data, in_face: Face) -> None:
-        name = Name(data.name)
+        name = data.name
+        if type(name) is not Name:
+            name = Name(name)
         self._purge(name)
         records = self._pending.get(name, [])
         if not records:

@@ -52,7 +52,7 @@ class NackReason(enum.Enum):
     UNAUTHORIZED = "registration-refused"
 
 
-@dataclass
+@dataclass(slots=True)
 class Interest:
     """A named request carrying TACTIC authentication state."""
 
@@ -74,8 +74,20 @@ class Interest:
     client_signature: bytes = b""
 
     def copy(self) -> "Interest":
+        # Field-wise slot copy: packets are __slots__ classes (no
+        # __dict__ to bulk-update), and skipping __init__ avoids the
+        # nonce counter.
         clone = Interest.__new__(Interest)
-        clone.__dict__.update(self.__dict__)
+        clone.name = self.name
+        clone.tag = self.tag
+        clone.flag_f = self.flag_f
+        clone.observed_access_path = self.observed_access_path
+        clone.nonce = self.nonce
+        clone.lifetime = self.lifetime
+        clone.issued_at = self.issued_at
+        clone.requester_id = self.requester_id
+        clone.credentials = self.credentials
+        clone.client_signature = self.client_signature
         return clone
 
     def is_registration(self) -> bool:
@@ -87,7 +99,9 @@ class Interest:
         return f"{self.name.to_uri()}#{self.nonce}".encode("utf-8")
 
     def size_bytes(self) -> int:
-        size = INTEREST_BASE_SIZE + self.name.encoded_size() + ACCESS_PATH_SIZE
+        # name._esize is the Name's precomputed TLV size — no per-hop
+        # re-encode (names and tags are immutable in flight).
+        size = INTEREST_BASE_SIZE + self.name._esize + ACCESS_PATH_SIZE
         if self.tag is not None:
             size += self.tag.encoded_size()
         if self.credentials is not None:
@@ -96,7 +110,7 @@ class Interest:
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class AttachedNack:
     """NACK attached to a Data packet: the paper's ``<D, T, NACK>``."""
 
@@ -104,7 +118,7 @@ class AttachedNack:
     reason: NackReason
 
 
-@dataclass
+@dataclass(slots=True)
 class Data:
     """A named content (or registration-response) packet."""
 
@@ -136,7 +150,21 @@ class Data:
 
     def copy(self) -> "Data":
         clone = Data.__new__(Data)
-        clone.__dict__.update(self.__dict__)
+        clone.name = self.name
+        clone.payload = self.payload
+        clone.payload_size = self.payload_size
+        clone.access_level = self.access_level
+        clone.provider_key_locator = self.provider_key_locator
+        clone.signature = self.signature
+        clone.flag_f = self.flag_f
+        clone.tag = self.tag
+        clone.nack = self.nack
+        clone.tag_response = self.tag_response
+        clone.wrapped_key = self.wrapped_key
+        clone.freshness = self.freshness
+        clone.created_at = self.created_at
+        clone.span_id = self.span_id
+        clone.app_meta = self.app_meta
         return clone
 
     def is_tag_response(self) -> bool:
@@ -146,10 +174,11 @@ class Data:
         return len(self.payload) if self.payload else self.payload_size
 
     def size_bytes(self) -> int:
+        payload = self.payload
         size = (
             DATA_BASE_SIZE
-            + self.name.encoded_size()
-            + self.effective_payload_size()
+            + self.name._esize
+            + (len(payload) if payload else self.payload_size)
             + SIGNATURE_SIZE
         )
         if self.tag is not None:
@@ -163,7 +192,7 @@ class Data:
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class Nack:
     """Standalone NACK from an edge router to a client."""
 

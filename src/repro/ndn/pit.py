@@ -15,7 +15,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.ndn.name import Name, NameLike
 
 
-@dataclass
+@dataclass(slots=True)
 class PitRecord:
     """One aggregated request: the paper's ``<Tu, F, InFace>`` tuple."""
 
@@ -27,9 +27,14 @@ class PitRecord:
     nonce: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PitEntry:
-    """All pending requests for one content name."""
+    """All pending requests for one content name.
+
+    A packed array-of-structs: the records list holds ``__slots__``
+    :class:`PitRecord` instances contiguously, so per-entry state is a
+    handful of machine words instead of per-record ``__dict__`` churn.
+    """
 
     name: Name
     records: List[PitRecord]
@@ -51,6 +56,11 @@ class Pit:
     names once full (after purging expired state) rather than growing
     without bound — the standard NDN PIT-exhaustion defence.
     """
+
+    __slots__ = (
+        "entry_lifetime", "capacity", "_entries", "expired_records",
+        "rejections", "on_timeout", "on_aggregate", "san", "perf",
+    )
 
     def __init__(self, entry_lifetime: float = 2.0, capacity: int = 0) -> None:
         self.entry_lifetime = entry_lifetime
@@ -88,7 +98,8 @@ class Pit:
             return self._find(name, now)
 
     def _find(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
-        name = Name(name)
+        if type(name) is not Name:
+            name = Name(name)
         entry = self._entries.get(name)
         if entry is None:
             return None
@@ -123,7 +134,8 @@ class Pit:
             return self._insert(name, record, now)
 
     def _insert(self, name: NameLike, record: PitRecord, now: float) -> bool:
-        name = Name(name)
+        if type(name) is not Name:
+            name = Name(name)
         entry = self._find(name, now)
         if entry is None:
             if self.capacity and len(self._entries) >= self.capacity:
@@ -158,7 +170,8 @@ class Pit:
             return self._consume(name, now)
 
     def _consume(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
-        name = Name(name)
+        if type(name) is not Name:
+            name = Name(name)
         entry = self._find(name, now)
         if entry is not None:
             del self._entries[name]
@@ -183,7 +196,8 @@ class Pit:
     def _drop_record(
         self, name: NameLike, predicate: Callable[[PitRecord], bool]
     ) -> int:
-        name = Name(name)
+        if type(name) is not Name:
+            name = Name(name)
         entry = self._entries.get(name)
         if entry is None:
             return 0

@@ -27,6 +27,8 @@ from repro.sim.rng import Stream
 class Strategy:
     """Base class: pick outgoing faces from a candidate hop set."""
 
+    __slots__ = ()
+
     name = "abstract"
 
     def select(
@@ -55,6 +57,8 @@ class Strategy:
 class BestRouteStrategy(Strategy):
     """The cheapest usable hop only (NDN's best-route strategy)."""
 
+    __slots__ = ()
+
     name = "best-route"
 
     def select(
@@ -63,12 +67,23 @@ class BestRouteStrategy(Strategy):
         in_face: Optional[Face],
         rng: Stream,
     ) -> List[Face]:
-        usable = self._usable(nexthops, in_face)
-        return [usable[0].face] if usable else []
+        # Inline first-usable scan (same order as _usable) so the common
+        # single-candidate case allocates only the one-element result.
+        for hop in nexthops:
+            face = hop.face
+            if face is in_face:
+                continue
+            link = getattr(face, "link", None)
+            if link is not None and not getattr(link, "up", True):
+                continue
+            return [face]
+        return []
 
 
 class MulticastStrategy(Strategy):
     """Every usable hop (NDN's multicast strategy)."""
+
+    __slots__ = ()
 
     name = "multicast"
 
@@ -84,6 +99,8 @@ class MulticastStrategy(Strategy):
 class LoadBalanceStrategy(Strategy):
     """One usable hop, drawn with probability inversely proportional to
     cost (cheap paths carry proportionally more traffic)."""
+
+    __slots__ = ()
 
     name = "load-balance"
 

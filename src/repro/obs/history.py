@@ -31,6 +31,7 @@ import hashlib
 import json
 import math
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -41,12 +42,44 @@ __all__ = [
     "HISTORY_FILE",
     "RunHistory",
     "diff_entries",
+    "host_metadata",
     "main",
     "spec_fingerprint",
 ]
 
 HISTORY_DIR_ENV = "REPRO_HISTORY_DIR"
 HISTORY_FILE = "history.jsonl"
+
+
+def host_metadata() -> Dict[str, Any]:
+    """The execution host, as recorded next to every benchmark number.
+
+    Throughput figures (``events_per_sec`` and friends) are meaningless
+    across interpreters or machines, so benchmark entries and the
+    ``BENCH_*.json`` documents carry this dict and ``diff`` refuses to
+    compare entries whose hosts differ (see :func:`hosts_comparable`).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def hosts_comparable(baseline: dict, candidate: dict) -> bool:
+    """Whether two history entries may be wall-clock-compared.
+
+    Entries written before host stamping existed carry no ``host`` key;
+    those stay comparable (there is nothing to contradict).  Once both
+    sides are stamped, every recorded field must match.
+    """
+    base_host = baseline.get("host")
+    cand_host = candidate.get("host")
+    if base_host is None or cand_host is None:
+        return True
+    return base_host == cand_host
 
 
 def spec_fingerprint(spec: Any) -> str:
@@ -123,6 +156,7 @@ class RunHistory:
             "figure": figure,
             "jobs": 1,
             "wall_seconds": wall_seconds,
+            "host": host_metadata(),
             "specs": [
                 {
                     "fingerprint": fingerprint,
@@ -293,6 +327,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       help="relative metric tolerance (default: exact match)")
     diff.add_argument("--wall-tolerance", type=float, default=None, metavar="PCT",
                       help="max wall-clock growth in percent (default: ignore)")
+    diff.add_argument("--allow-cross-host", action="store_true",
+                      help="compare entries recorded on different hosts "
+                           "(throughput numbers will not be meaningful)")
 
     args = parser.parse_args(argv)
     directory = _resolve_dir(args.history_dir)
@@ -325,6 +362,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if baseline is None:
             print("error: need at least two entries to diff", file=sys.stderr)
             return 2
+
+    if not args.allow_cross_host and not hosts_comparable(baseline, candidate):
+        print(
+            f"error: entries #{baseline['sequence']} and "
+            f"#{candidate['sequence']} were recorded on different hosts; "
+            f"benchmark numbers are not comparable "
+            f"(re-baseline on this host, or pass --allow-cross-host)",
+            file=sys.stderr,
+        )
+        print(f"  baseline : {json.dumps(baseline.get('host'), sort_keys=True)}",
+              file=sys.stderr)
+        print(f"  candidate: {json.dumps(candidate.get('host'), sort_keys=True)}",
+              file=sys.stderr)
+        return 2
 
     problems = diff_entries(
         baseline, candidate,

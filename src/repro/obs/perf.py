@@ -157,6 +157,34 @@ class PerfObservatory:
     def _push(self, name: str) -> None:
         self._stack.append([name, self.clock(), 0.0])
 
+    def _push_at(self, name: str, now: float) -> None:
+        """:meth:`_push` with a caller-supplied timestamp.
+
+        The observed run loop batches its clock reads — one pair per
+        event instead of one pair per phase site — and threads the
+        shared readings through here and :meth:`_pop_at`.
+        """
+        self._stack.append([name, now, 0.0])
+
+    def _pop_at(self, now: float, handler: Optional[Callable] = None) -> float:
+        """:meth:`_pop` with a caller-supplied timestamp."""
+        name, start, child = self._stack.pop()
+        elapsed = now - start
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.cum_seconds[name] = self.cum_seconds.get(name, 0.0) + elapsed
+        self.self_seconds[name] = (
+            self.self_seconds.get(name, 0.0) + elapsed - child
+        )
+        if self._stack:
+            self._stack[-1][2] += elapsed
+        if handler is not None:
+            category = _handler_category(handler)
+            self.handler_calls[category] = self.handler_calls.get(category, 0) + 1
+            self.handler_seconds[category] = (
+                self.handler_seconds.get(category, 0.0) + elapsed
+            )
+        return elapsed
+
     def _pop(self, handler: Optional[Callable] = None) -> float:
         """Close the innermost phase; returns its elapsed seconds.
 

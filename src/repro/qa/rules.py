@@ -709,6 +709,101 @@ class PerfPhaseRule(ContextRule):
         return None
 
 
+#: Modules whose classes are instantiated per event / per packet, so an
+#: instance ``__dict__`` is measurable allocation churn (SL014).  The
+#: ``sim/`` and ``ndn/`` subpackages are hot wholesale; elsewhere only
+#: the named files carry per-packet objects.
+_HOT_SLOT_PREFIXES = ("sim/", "ndn/")
+_HOT_SLOT_FILES = ("core/tag.py", "crypto/cost_model.py")
+
+#: Base classes that manage instance layout themselves — subclassing
+#: them with ``__slots__`` is either impossible or pointless.
+_SLOTS_EXEMPT_BASES = (
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+    "Protocol", "ABC", "NamedTuple", "TypedDict",
+    "Exception", "BaseException",
+)
+
+
+class SlotsRule(Rule):
+    """SL014: classes in hot modules must declare ``__slots__``.
+
+    The sim-core speed overhaul removed per-event/per-packet
+    ``__dict__`` allocations (events, packets, PIT/CS records, faces,
+    tags, cost entries); this rule keeps them removed.  A class in a
+    declared hot module satisfies the rule by a literal ``__slots__``
+    assignment in its body or by ``@dataclass(slots=True)``.  Classes
+    that *need* a ``__dict__`` — monkey-patch targets like ``Node`` and
+    ``Simulator``, one-per-topology objects like ``Link`` — carry a
+    per-class ``# simlint: disable=SL014`` with a reason, which is the
+    auditable list of exceptions.  Exception/Enum/Protocol subclasses
+    are exempt (their metaclasses own the layout).
+    """
+
+    code = "SL014"
+    title = "hot-path classes must declare __slots__"
+
+    def applies_to(self, module: Module) -> bool:
+        rel = module.relpath
+        if "/" not in rel:
+            return True
+        return rel.startswith(_HOT_SLOT_PREFIXES) or rel in _HOT_SLOT_FILES
+
+    def check(self, module: Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if self._exempt_bases(node) or self._declares_slots(node):
+                continue
+            yield self._finding(
+                module, node,
+                f"class {node.name!r} in a hot module defines no "
+                f"__slots__ (add __slots__, use @dataclass(slots=True), "
+                f"or suppress with a reason if it must keep a __dict__)",
+            )
+
+    @staticmethod
+    def _exempt_bases(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+            if name in _SLOTS_EXEMPT_BASES or name.endswith(
+                ("Error", "Exception", "Warning")
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _declares_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            targets = ()
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = (stmt.target,)
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name != "dataclass":
+                continue
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+        return False
+
+
 #: The active rule set, in code order.
 ALL_RULES: Sequence[Rule] = (
     WallClockRule(),
@@ -720,6 +815,7 @@ ALL_RULES: Sequence[Rule] = (
     FleetEventRule(),
     DecisionKindRule(),
     PerfPhaseRule(),
+    SlotsRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -9,18 +9,38 @@ or absolute (``schedule_at``) callbacks.
 from __future__ import annotations
 
 import heapq
+import os
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceHub
 
+#: Compact the heap when more than this many cancelled entries linger
+#: *and* they outnumber the live ones — lazy deletion stays O(1) per
+#: cancel, but a timeout-heavy workload no longer drags a majority-dead
+#: heap through every push/pop sift.
+_COMPACT_MIN_DEAD = 64
+
+#: Optional compiled drain loop (``SIM_KERNEL=c``).  Loaded once at
+#: import; any failure (no compiler, no headers) falls back silently to
+#: the Python loop, which is digest-identical by construction.
+_C_KERNEL = None
+if os.environ.get("SIM_KERNEL", "").strip().lower() == "c":
+    try:
+        from repro.sim._ckernel import load_kernel as _load_kernel
+
+        _C_KERNEL = _load_kernel()
+    except Exception:  # pragma: no cover - depends on host toolchain
+        _C_KERNEL = None
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduler operations (e.g. scheduling in the past)."""
 
 
-class Simulator:
+class Simulator:  # simlint: disable=SL014 (SimSan patches schedule/schedule_at; C kernel reads __dict__)
     """A deterministic discrete-event scheduler.
 
     Parameters
@@ -111,10 +131,10 @@ class Simulator:
         event.on_cancel = self._note_cancel
         perf = self.perf
         if perf is None:
-            heapq.heappush(self._heap, (time, priority, event.seq, event))
+            heappush(self._heap, (time, priority, event.seq, event))
         else:
             began = perf.clock()
-            heapq.heappush(self._heap, (time, priority, event.seq, event))
+            heappush(self._heap, (time, priority, event.seq, event))
             perf.account("engine.push", perf.clock() - began)
         self._live += 1
         return event
@@ -125,6 +145,18 @@ class Simulator:
 
     def _note_cancel(self) -> None:
         self._live -= 1
+        # Lazy-cancel compaction: once dead entries outnumber live ones
+        # (and there are enough to matter), rebuild in place.  The slice
+        # assignment keeps the list identity, so a run loop holding a
+        # local reference to the heap keeps working; relative order of
+        # live entries is restored by heapify (tuples are unique by
+        # seq), so dispatch order — and therefore the SimSan digest —
+        # is unchanged.
+        heap = self._heap
+        dead = len(heap) - self._live
+        if dead > _COMPACT_MIN_DEAD and dead << 1 > len(heap):
+            heap[:] = [entry for entry in heap if not entry[3].cancelled]
+            heapify(heap)
 
     # ------------------------------------------------------------------
     # Execution
@@ -150,25 +182,59 @@ class Simulator:
                 self._run_sanitized(until)
             elif self.profiler is not None:
                 self._run_profiled(until)
+            elif _C_KERNEL is not None:
+                _C_KERNEL(self, until)
             else:
-                heap = self._heap
-                while heap and not self._stopped:
-                    event = heap[0][3]
-                    if event.cancelled:
-                        heapq.heappop(heap)
-                        continue
-                    if until is not None and event.time > until:
-                        break
-                    heapq.heappop(heap)
-                    self._live -= 1
-                    event.on_cancel = None
-                    self._now = event.time
-                    self.events_executed += 1
-                    event.callback(*event.args)
+                self._drain(until)
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:
             self._running = False
+
+    def _drain(self, until: Optional[float]) -> None:
+        """The plain (uninstrumented) dispatch loop — the hot path.
+
+        Restructured for per-event cost: the heap entry tuple is read
+        once (its ``[0]`` element *is* ``event.time``, so the event's
+        attributes are not re-read), ``heappop`` is a preloaded global,
+        and the no-deadline case drops the ``until`` comparison from
+        the loop entirely.  Same-timestamp runs drain through the same
+        tight body — ``heappop`` resolves time/priority/seq ties in C
+        tuple comparison, so no re-heapify or tie-break work happens in
+        Python.  Dispatch order, clock updates, and counter updates are
+        exactly the seed loop's; the SimSan digest is bit-identical.
+        """
+        heap = self._heap
+        pop = heappop
+        if until is None:
+            while heap and not self._stopped:
+                entry = heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                pop(heap)
+                self._live -= 1
+                event.on_cancel = None
+                self._now = entry[0]
+                self.events_executed += 1
+                event.callback(*event.args)
+        else:
+            while heap and not self._stopped:
+                entry = heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                time = entry[0]
+                if time > until:
+                    break
+                pop(heap)
+                self._live -= 1
+                event.on_cancel = None
+                self._now = time
+                self.events_executed += 1
+                event.callback(*event.args)
 
     def _run_observed(self, until: Optional[float]) -> None:
         """The ``run`` loop with phase-attributed cost accounting.
@@ -187,31 +253,43 @@ class Simulator:
         profiler = self.profiler if san is None else None
         clock = perf.clock
         account = perf.account
-        perf._push("engine.loop")
+        # Batched clock reads: two per dispatched event (one closing the
+        # pop bookkeeping, one closing the dispatch), with the dispatch-
+        # closing read carried over as the next iteration's pop-opening
+        # read.  The seed loop read the clock four times per event; the
+        # cost of the loop's own bookkeeping (note_event, the while
+        # condition) now lands in ``engine.pop`` instead of
+        # ``engine.loop`` self time — the partition invariant (self
+        # times sum to the loop wall) is unchanged.
+        stamp = clock()
+        perf._push_at("engine.loop", stamp)
         try:
             while heap and not self._stopped:
-                began = clock()
+                began = stamp
                 event = heap[0][3]
                 if event.cancelled:
-                    heapq.heappop(heap)
-                    account("engine.pop", clock() - began)
+                    heappop(heap)
+                    stamp = clock()
+                    account("engine.pop", stamp - began)
                     continue
                 if until is not None and event.time > until:
                     account("engine.pop", clock() - began)
                     break
                 if profiler is not None:
                     profiler.observe_heap(len(heap))
-                heapq.heappop(heap)
+                heappop(heap)
                 self._live -= 1
                 event.on_cancel = None
-                account("engine.pop", clock() - began)
+                stamp = clock()
+                account("engine.pop", stamp - began)
                 if san is not None:
                     san.before_event(event, self._now)
                 self._now = event.time
                 self.events_executed += 1
-                perf._push("engine.dispatch")
+                perf._push_at("engine.dispatch", stamp)
                 event.callback(*event.args)
-                elapsed = perf._pop(handler=event.callback)
+                stamp = clock()
+                elapsed = perf._pop_at(stamp, handler=event.callback)
                 if profiler is not None:
                     profiler.record(event.callback, elapsed)
                 perf.note_event(self._now)
@@ -322,24 +400,25 @@ class Simulator:
             began = clock()
             event = heap[0][3]
             if event.cancelled:
-                heapq.heappop(heap)
+                heappop(heap)
                 account("engine.pop", clock() - began)
                 continue
             san = self.sanitizer
             profiler = self.profiler if san is None else None
             if profiler is not None:
                 profiler.observe_heap(len(heap))
-            heapq.heappop(heap)
+            heappop(heap)
             self._live -= 1
             event.on_cancel = None
-            account("engine.pop", clock() - began)
+            stamp = clock()
+            account("engine.pop", stamp - began)
             if san is not None:
                 san.before_event(event, self._now)
             self._now = event.time
             self.events_executed += 1
-            perf._push("engine.dispatch")
+            perf._push_at("engine.dispatch", stamp)
             event.callback(*event.args)
-            elapsed = perf._pop(handler=event.callback)
+            elapsed = perf._pop_at(clock(), handler=event.callback)
             if profiler is not None:
                 profiler.record(event.callback, elapsed)
             perf.note_event(self._now)

@@ -36,7 +36,7 @@ class Timeout:
         self.delay = delay
 
 
-class Process:
+class Process:  # simlint: disable=SL014 (generator driver; kept open for subclass state)
     """Drives a generator against the simulator clock.
 
     The generator starts immediately (at scheduling time ``start_delay``

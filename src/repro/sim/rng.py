@@ -63,6 +63,8 @@ class RngRegistry:
     True
     """
 
+    __slots__ = ("master_seed", "_streams")
+
     def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = master_seed
         self._streams: Dict[str, Stream] = {}

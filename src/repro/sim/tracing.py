@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One emitted trace sample."""
 
@@ -23,7 +23,7 @@ class TraceRecord:
 Subscriber = Callable[[TraceRecord], None]
 
 
-class TraceHub:
+class TraceHub:  # simlint: disable=SL014 (one per sim; instruments attach attributes)
     """Routes trace records to subscribers by exact name or wildcard.
 
     Subscribing to ``"*"`` receives every record; otherwise only records
