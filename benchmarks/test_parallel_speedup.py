@@ -8,9 +8,21 @@ correctness bar unconditionally — every execution mode produces
 bit-identical figure values and event digests — and publishes
 ``BENCH_parallel.json`` with the wall-clock numbers.
 
+Both timed legs run with the fleet scheduling observatory on
+(:mod:`repro.obs.fleetperf`), so the document carries a ``fleetperf``
+speedup-attribution block decomposing the parallel wall into compute /
+startup / serialization / imbalance / straggler / residual, with the
+phase-coverage invariant (>= 0.9 of the wall attributed) asserted here.
+Read it with ``python -m repro.obs.fleetperf report BENCH_parallel.json``.
+
 The >=2x speedup assertion is gated on the host actually having >=4
 cores: a single-core CI runner pays the spawn overhead without any
 parallelism to show for it, which says nothing about the engine.
+
+With ``REPRO_HISTORY_DIR`` set, the headline numbers are appended to
+the run history (figure ``parallel``) for the CI regression gate
+(``python -m repro.obs.history diff --figure parallel``); the committed
+baseline lives at ``benchmarks/baselines/parallel_history.jsonl``.
 """
 
 from __future__ import annotations
@@ -21,9 +33,10 @@ import os
 import time
 
 from benchmarks.conftest import RESULTS_DIR, publish
-from repro.exec import run_specs
+from repro.exec import ExperimentEngine
 from repro.experiments.fig5_latency import enumerate_fig5
 from repro.experiments.report import render_table
+from repro.obs.fleetperf import attribute_speedup
 from repro.obs.metrics import MetricsRegistry
 
 #: Scaled so the whole tri-modal comparison stays CI-sized; see each
@@ -33,6 +46,9 @@ SEEDS = (1, 2)
 DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "6.0"))
 SCALE = 0.2
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+#: The attribution coverage bar (ISSUE 9 acceptance criterion).
+MIN_COVERAGE = 0.9
 
 
 def _sweep_specs():
@@ -50,18 +66,23 @@ def _sweep_specs():
 
 
 def _timed_run(specs, **kwargs):
+    engine = ExperimentEngine(registry=MetricsRegistry(), **kwargs)
     began = time.perf_counter()
-    summaries = run_specs(specs, registry=MetricsRegistry(), **kwargs)
-    return time.perf_counter() - began, summaries
+    summaries = engine.run_specs(specs)
+    return time.perf_counter() - began, summaries, engine
 
 
 def test_parallel_matches_serial_and_speeds_up(tmp_path):
     specs = _sweep_specs()
 
-    serial_wall, serial = _timed_run(specs, jobs=1, use_cache=False)
-    parallel_wall, parallel = _timed_run(specs, jobs=JOBS, use_cache=False)
-    prime_wall, primed = _timed_run(specs, jobs=1, cache_dir=tmp_path)
-    cached_wall, cached = _timed_run(specs, jobs=1, cache_dir=tmp_path)
+    serial_wall, serial, _ = _timed_run(
+        specs, jobs=1, use_cache=False, fleetperf=True
+    )
+    parallel_wall, parallel, fleet_engine = _timed_run(
+        specs, jobs=JOBS, use_cache=False, fleetperf=True
+    )
+    prime_wall, primed, _ = _timed_run(specs, jobs=1, cache_dir=tmp_path)
+    cached_wall, cached, _ = _timed_run(specs, jobs=1, cache_dir=tmp_path)
 
     # The correctness bar: bit-identical values in every mode.
     baseline = [s.metrics_dict() for s in serial]
@@ -78,6 +99,19 @@ def test_parallel_matches_serial_and_speeds_up(tmp_path):
     speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
     cache_speedup = serial_wall / cached_wall if cached_wall else float("inf")
 
+    # Where the parallel wall went (docs/PERFORMANCE.md, "Where
+    # parallel time goes").  The coverage invariant is the acceptance
+    # bar: the observatory must account for >= 90% of the measured
+    # wall, or its attribution cannot be trusted to gate the multicore
+    # overhaul.
+    attribution = attribute_speedup(
+        fleet_engine.last_fleetperf, serial_wall=serial_wall
+    )
+    assert attribution["coverage"] >= MIN_COVERAGE, (
+        f"fleetperf attributed only {attribution['coverage']:.1%} of the "
+        f"parallel wall (bar: {MIN_COVERAGE:.0%})"
+    )
+
     from repro.obs.history import host_metadata
 
     report = {
@@ -89,14 +123,19 @@ def test_parallel_matches_serial_and_speeds_up(tmp_path):
             "scale": SCALE,
             "runs": len(specs),
         },
-        "host_cpu_cores": cores,
         "jobs": JOBS,
+        "pool": {
+            "start_method": "spawn",
+            "chunksize": 1,
+            "workers": min(JOBS, len(specs)),
+        },
         "serial_wall_seconds": round(serial_wall, 4),
         "parallel_wall_seconds": round(parallel_wall, 4),
         "cache_prime_wall_seconds": round(prime_wall, 4),
         "cache_replay_wall_seconds": round(cached_wall, 4),
         "parallel_speedup": round(speedup, 3),
         "cache_speedup": round(cache_speedup, 3),
+        "fleetperf": attribution,
         "bit_identical": True,
         "event_digests": digests,
         "speedup_asserted": cores >= 4 and JOBS >= 4,
@@ -121,6 +160,21 @@ def test_parallel_matches_serial_and_speeds_up(tmp_path):
                   f"({cores} host cores)",
         ),
     )
+
+    history_dir = os.environ.get("REPRO_HISTORY_DIR")
+    if history_dir:
+        from repro.obs.history import RunHistory
+
+        RunHistory(history_dir).append_benchmark(
+            "parallel",
+            label=f"fig5-sweep-jobs{JOBS}",
+            metrics={
+                "parallel_speedup": round(speedup, 3),
+                "attribution_coverage": round(attribution["coverage"], 4),
+                "runs": len(specs),
+            },
+            wall_seconds=parallel_wall,
+        )
 
     # Cache replay skips execution entirely; it must crush serial even
     # on one core.

@@ -254,6 +254,19 @@ def build_parser() -> argparse.ArgumentParser:
         "'python -m repro.obs.history diff' (equivalent to "
         "REPRO_HISTORY_DIR)",
     )
+    fleet.add_argument(
+        "--fleetperf", action="store_true",
+        help="attach the fleet scheduling observatory: per-worker "
+        "lifecycle phases and the pool timeline, reported via "
+        "'python -m repro.obs.fleetperf report' (equivalent to "
+        "REPRO_FLEETPERF=1)",
+    )
+    fleet.add_argument(
+        "--fleet-trace", metavar="PATH", default=None,
+        help="write the pool timeline as a Chrome trace (one lane per "
+        "worker, spec slices + occupancy counter); implies --fleetperf "
+        "(equivalent to REPRO_FLEET_TRACE)",
+    )
     audit = parser.add_argument_group(
         "decision auditing", "access-control decision records, the "
         "misauthorization oracle, and the flight recorder "
@@ -326,6 +339,10 @@ def main(argv: List[str] = None) -> int:
         os.environ["REPRO_FLEET_METRICS"] = args.fleet_metrics_out
     if args.history_dir:
         os.environ["REPRO_HISTORY_DIR"] = args.history_dir
+    if args.fleetperf:
+        os.environ["REPRO_FLEETPERF"] = "1"
+    if args.fleet_trace:
+        os.environ["REPRO_FLEET_TRACE"] = args.fleet_trace
     # Decision auditing and the flight recorder follow suit: the runner
     # and engine read these, and spawned workers inherit them.
     if args.audit:

@@ -10,6 +10,8 @@ and the content-addressed run cache (``--cache-dir`` /
 
 from repro.exec.cache import CACHE_FORMAT, RunCache, cache_key, code_fingerprint
 from repro.exec.engine import (
+    FLEET_TRACE_ENV,
+    FLEETPERF_ENV,
     ExecStats,
     ExperimentEngine,
     default_registry,
@@ -23,6 +25,8 @@ __all__ = [
     "CACHE_FORMAT",
     "ExecStats",
     "ExperimentEngine",
+    "FLEETPERF_ENV",
+    "FLEET_TRACE_ENV",
     "RunCache",
     "RunSummary",
     "ScenarioSpec",

@@ -63,6 +63,15 @@ FLEET_TELEMETRY_ENV = "REPRO_FLEET_TELEMETRY"
 PROGRESS_ENV = "REPRO_PROGRESS"
 ENGINE_EVENTS_ENV = "REPRO_ENGINE_EVENTS"
 FLEET_METRICS_ENV = "REPRO_FLEET_METRICS"
+FLEETPERF_ENV = "REPRO_FLEETPERF"
+FLEET_TRACE_ENV = "REPRO_FLEET_TRACE"
+
+#: Worker-birth stamp for the fleet observatory.  A spawn-context
+#: worker imports this module while the pool boots, so in a worker this
+#: is "interpreter up, engine imported" on the shared monotonic clock;
+#: the parent derives spawn + import cost as this stamp minus its
+#: pool-open stamp (see :mod:`repro.obs.fleetperf`).
+_MODULE_IMPORTED_AT = time.perf_counter()
 
 #: Histogram buckets for per-run wall clock (seconds); runs range from
 #: sub-second CI points to minutes-long paper-scale sweeps.
@@ -104,6 +113,7 @@ def _execute_spec(
     spec: ScenarioSpec,
     telemetry_args: Optional[Dict[str, Any]] = None,
     audit: bool = False,
+    fleetperf: bool = False,
 ) -> RunSummary:
     """Run one spec end to end (the worker entry point).
 
@@ -122,11 +132,29 @@ def _execute_spec(
     ``audit`` asks for the decision-audit round-trip: the run attaches
     a :class:`~repro.obs.audit.DecisionAudit` and its summary travels
     home in ``summary.audit`` the same way.
+
+    ``fleetperf`` asks for the worker-lifecycle round-trip: a
+    :class:`~repro.obs.fleetperf.WorkerLifecycle` charges the
+    simulator-stack import, scenario build, sim run, envelope build,
+    and envelope pickle to fleet phases, and its record travels home in
+    ``summary.fleetperf`` the same way.
     """
+    lifecycle = None
+    if fleetperf:
+        from repro.obs.fleetperf import WorkerLifecycle
+
+        lifecycle = WorkerLifecycle(_MODULE_IMPORTED_AT)
+
+    mark = time.perf_counter()
     from repro.experiments.runner import run_scenario
+
+    if lifecycle is not None:
+        lifecycle.charge("fleet.import", time.perf_counter() - mark)
 
     began = time.perf_counter()
     scenario = spec.build()
+    if lifecycle is not None:
+        lifecycle.charge("fleet.build", time.perf_counter() - began)
     sanitizer = None
     if spec.hash_events:
         from repro.qa.simsan import SimSan
@@ -153,9 +181,13 @@ def _execute_spec(
 
         auditor = DecisionAudit()
 
+    mark = time.perf_counter()
     result = run_scenario(
         scenario, telemetry=telemetry, sanitizer=sanitizer, audit=auditor
     )
+    if lifecycle is not None:
+        lifecycle.charge("fleet.sim", time.perf_counter() - mark)
+    mark = time.perf_counter()
     digest = sanitizer.stream_digest() if sanitizer is not None else None
     summary = summarize(
         result, latency_bucket=spec.latency_bucket, event_digest=digest
@@ -166,16 +198,21 @@ def _execute_spec(
         summary.audit = result.audit.summary()
     summary.wall_seconds = time.perf_counter() - began
     summary.worker_pid = os.getpid()
+    if lifecycle is not None:
+        lifecycle.charge("fleet.envelope", time.perf_counter() - mark)
+        # Finalize with ``summary.fleetperf`` still None so the byte
+        # count describes what the pool pipe actually carries.
+        summary.fleetperf = lifecycle.finalize(summary)
     return summary
 
 
 def _execute_indexed(
-    payload: Tuple[int, ScenarioSpec, Optional[Dict[str, Any]], bool]
+    payload: Tuple[int, ScenarioSpec, Optional[Dict[str, Any]], bool, bool]
 ) -> Tuple[int, RunSummary]:
     """Pool adapter: tags each result with its pending-list slot so the
     completion queue (``imap_unordered``) can restore submission order."""
-    slot, spec, telemetry_args, audit = payload
-    return slot, _execute_spec(spec, telemetry_args, audit)
+    slot, spec, telemetry_args, audit, fleetperf = payload
+    return slot, _execute_spec(spec, telemetry_args, audit, fleetperf)
 
 
 @dataclass
@@ -233,6 +270,20 @@ class ExperimentEngine:
         Write the fleet-merged audit report (summary + binomial-CI
         check + rendered text) as JSON after every :meth:`run_specs`
         call (``None`` = ``REPRO_AUDIT_OUT`` env, else off).
+    fleetperf:
+        Fleet scheduling observatory (worker-lifecycle phases + pool
+        timeline; :mod:`repro.obs.fleetperf`): ``True``/``False``
+        explicit, ``None`` = ``REPRO_FLEETPERF`` env, else on
+        automatically whenever ``fleet_trace`` is set.  Per-run
+        lifecycle records ride home in ``summary.fleetperf`` (cache
+        hits replay them), fold into :attr:`fleet_fleetperf` in
+        submission order, and the pool-timeline report lands in
+        :attr:`last_fleetperf` after each :meth:`run_specs` call.
+    fleet_trace:
+        Write the pool timeline as a Chrome trace (one lane per
+        worker, spec slices + occupancy counter) after every
+        :meth:`run_specs` call (``None`` = ``REPRO_FLEET_TRACE`` env,
+        else off).  Implies ``fleetperf``.
     stream:
         Progress stream (``None`` = stderr; tests pass a StringIO).
     """
@@ -250,6 +301,8 @@ class ExperimentEngine:
         fleet_metrics_path: Optional[str] = None,
         audit: Optional[bool] = None,
         audit_out: Optional[str] = None,
+        fleetperf: Optional[bool] = None,
+        fleet_trace: Optional[str] = None,
         stream: Optional[object] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
@@ -298,6 +351,30 @@ class ExperimentEngine:
         #: fleet-wide decision-audit view (same determinism contract as
         #: :attr:`fleet_registry`).
         self.fleet_audit: Dict[str, Any] = {}
+        self.fleet_trace = (
+            fleet_trace
+            if fleet_trace is not None
+            else os.environ.get(FLEET_TRACE_ENV, "").strip() or None
+        )
+        resolved_fleetperf = (
+            fleetperf if fleetperf is not None else _env_flag(FLEETPERF_ENV)
+        )
+        self.fleetperf = (
+            resolved_fleetperf
+            if resolved_fleetperf is not None
+            else self.fleet_trace is not None
+        )
+        #: Per-run worker-lifecycle records folded in submission order
+        #: (phase calls/seconds and envelope bytes sum; see
+        #: :func:`repro.obs.fleetperf.merge_fleetperf`) — the
+        #: fleet-wide lifecycle view, cache hits included.
+        self.fleet_fleetperf: Dict[str, Any] = {}
+        #: The pool-timeline report from the most recent
+        #: :meth:`run_specs` call (``None`` until one runs with the
+        #: observatory on) — feeds
+        #: :func:`repro.obs.fleetperf.attribute_speedup` and the
+        #: Chrome-trace export.
+        self.last_fleetperf: Optional[Dict[str, Any]] = None
         self.stream = stream
         #: Per-run telemetry envelopes merged in submission order — the
         #: fleet-wide metrics view.  Deterministic: for a fixed seed the
@@ -380,6 +457,13 @@ class ExperimentEngine:
             )
             progress.run_started(figure)
 
+        fleet = None
+        if self.fleetperf:
+            from repro.obs.fleetperf import FleetPerf
+
+            fleet = FleetPerf(jobs=self.jobs, total=len(ordered))
+
+        probe_began = time.perf_counter()
         for index, spec in enumerate(ordered):
             key: Optional[str] = None
             if self.cache is not None:
@@ -390,12 +474,16 @@ class ExperimentEngine:
                     results[index] = hit
                     self.stats.cache_hits += 1
                     self._cache_events.labels(result="hit").inc()
+                    if fleet is not None:
+                        fleet.spec_cached(hit.label)
                     if progress is not None:
                         progress.spec_cached(hit.label)
                     continue
                 self.stats.cache_misses += 1
                 self._cache_events.labels(result="miss").inc()
             pending.append((index, spec, key))
+        if fleet is not None and self.cache is not None:
+            fleet.charge("fleet.cache", time.perf_counter() - probe_began)
 
         if pending:
             workers = min(self.jobs, len(pending))
@@ -403,14 +491,19 @@ class ExperimentEngine:
             if workers > 1:
                 mode = "parallel"
                 payloads = [
-                    (slot, spec, telemetry_args, self.audit)
+                    (slot, spec, telemetry_args, self.audit, self.fleetperf)
                     for slot, (_, spec, _) in enumerate(pending)
                 ]
                 context = multiprocessing.get_context("spawn")
+                if fleet is not None:
+                    fleet.pool_opening()
                 with context.Pool(processes=workers) as pool:
                     if progress is not None:
                         for _, spec, _ in pending:
                             progress.spec_started(spec.label)
+                    if fleet is not None:
+                        for slot, (_, spec, _) in enumerate(pending):
+                            fleet.spec_submitted(slot, spec.label)
                     # Completion queue: results arrive as workers finish
                     # (live progress), then land back in their submission
                     # slot so downstream order never depends on timing.
@@ -418,6 +511,8 @@ class ExperimentEngine:
                         _execute_indexed, payloads, chunksize=1
                     ):
                         summaries[slot] = summary
+                        if fleet is not None:
+                            fleet.spec_received(slot, summary)
                         if progress is not None:
                             progress.spec_finished(
                                 summary.label, summary.wall_seconds, mode
@@ -427,8 +522,14 @@ class ExperimentEngine:
                 for slot, (_, spec, _) in enumerate(pending):
                     if progress is not None:
                         progress.spec_started(spec.label)
-                    summary = _execute_spec(spec, telemetry_args, self.audit)
+                    if fleet is not None:
+                        fleet.spec_submitted(slot, spec.label)
+                    summary = _execute_spec(
+                        spec, telemetry_args, self.audit, self.fleetperf
+                    )
                     summaries[slot] = summary
+                    if fleet is not None:
+                        fleet.spec_received(slot, summary)
                     if progress is not None:
                         progress.spec_finished(
                             summary.label, summary.wall_seconds, mode
@@ -443,6 +544,20 @@ class ExperimentEngine:
         self._merge_fleet_telemetry(final, default_config)
         self._merge_fleet_audit(final)
         wall = time.perf_counter() - began
+        if fleet is not None:
+            from repro.obs.fleetperf import merge_fleetperf
+
+            # Submission order, cache hits included: replayed records
+            # fold in exactly like freshly executed ones (the telemetry
+            # round-trip contract).
+            for summary in final:
+                if summary.fleetperf:
+                    merge_fleetperf(self.fleet_fleetperf, summary.fleetperf)
+            self.last_fleetperf = fleet.report(wall)
+            if self.fleet_trace:
+                from repro.obs.export import write_fleet_trace
+
+                write_fleet_trace(self.fleet_trace, self.last_fleetperf)
         if progress is not None:
             progress.run_finished()
         if self.history_dir is not None:
@@ -554,6 +669,7 @@ def run_specs(
     figure: str = "",
     collect_telemetry: Optional[bool] = None,
     audit: Optional[bool] = None,
+    fleetperf: Optional[bool] = None,
 ) -> List[RunSummary]:
     """One-shot convenience over :class:`ExperimentEngine`."""
     engine = ExperimentEngine(
@@ -563,5 +679,6 @@ def run_specs(
         registry=registry,
         collect_telemetry=collect_telemetry,
         audit=audit,
+        fleetperf=fleetperf,
     )
     return engine.run_specs(specs, figure=figure)

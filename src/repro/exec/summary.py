@@ -92,6 +92,12 @@ class RunSummary:
     #: dict) when the engine ran with auditing on; ``None`` otherwise.
     #: Excluded from equality for the same reason as ``telemetry``.
     audit: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    #: The run's worker-lifecycle record (a
+    #: :meth:`~repro.obs.fleetperf.WorkerLifecycle.finalize` dict: phase
+    #: seconds, monotonic stamps, envelope byte count) when the engine
+    #: ran with the fleet observatory on; ``None`` otherwise.  Excluded
+    #: from equality for the same reason as ``telemetry``.
+    fleetperf: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # RunResult-compatible accessors
@@ -222,6 +228,7 @@ class RunSummary:
             "wall_seconds": self.wall_seconds,
             "telemetry": self.telemetry,
             "audit": self.audit,
+            "fleetperf": self.fleetperf,
         }
 
     @classmethod
@@ -268,6 +275,7 @@ class RunSummary:
             wall_seconds=float(payload.get("wall_seconds", 0.0)),
             telemetry=payload.get("telemetry"),
             audit=payload.get("audit"),
+            fleetperf=payload.get("fleetperf"),
         )
 
 

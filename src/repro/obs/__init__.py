@@ -46,16 +46,27 @@ from repro.obs.session import (
 from repro.obs.spans import SPAN_EVENTS, Span, SpanBuilder, SpanRecorder
 
 _PERF_EXPORTS = ("PERF_PHASES", "PerfObservatory", "merge_perf_reports")
+_FLEETPERF_EXPORTS = (
+    "FLEETPERF_PHASES",
+    "FleetPerf",
+    "WorkerLifecycle",
+    "attribute_speedup",
+    "merge_fleetperf",
+)
 
 
 def __getattr__(name):
-    # repro.obs.perf is imported lazily (like repro.obs.history) so its
-    # ``python -m repro.obs.perf`` CLI runs without runpy's
-    # already-in-sys.modules warning.
+    # repro.obs.perf / repro.obs.fleetperf are imported lazily (like
+    # repro.obs.history) so their ``python -m`` CLIs run without
+    # runpy's already-in-sys.modules warning.
     if name in _PERF_EXPORTS:
         from repro.obs import perf
 
         return getattr(perf, name)
+    if name in _FLEETPERF_EXPORTS:
+        from repro.obs import fleetperf
+
+        return getattr(fleetperf, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -63,10 +74,15 @@ __all__ = [
     "DECISION_KINDS",
     "DecisionAudit",
     "DecisionRecord",
+    "FLEETPERF_PHASES",
+    "FleetPerf",
     "FlightRecorder",
     "MetricsRegistry",
     "PERF_PHASES",
     "PerfObservatory",
+    "WorkerLifecycle",
+    "attribute_speedup",
+    "merge_fleetperf",
     "PeriodicSampler",
     "SimProfiler",
     "StackSampler",

@@ -120,6 +120,7 @@ class FileScan:
     metrics: Set[str] = field(default_factory=set)
     decisions: Set[str] = field(default_factory=set)
     phases: Set[str] = field(default_factory=set)
+    fleet_phases: Set[str] = field(default_factory=set)
 
 
 def scan_file(
@@ -141,6 +142,7 @@ def scan_file(
     scan.metrics = registries.declared_metrics
     scan.decisions = registries.declared_decisions
     scan.phases = registries.declared_phases
+    scan.fleet_phases = registries.declared_fleet_phases
     empty_ctx = LintContext()
     for rule in rules:
         if select is not None and rule.code not in select:
@@ -169,6 +171,7 @@ def _judge_and_filter(
         ctx.declared_metrics |= scan.metrics
         ctx.declared_decisions |= scan.decisions
         ctx.declared_phases |= scan.phases
+        ctx.declared_fleet_phases |= scan.fleet_phases
 
     findings: List[Finding] = []
     for scan in scans:

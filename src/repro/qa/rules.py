@@ -82,6 +82,11 @@ _DECISION_REGISTRY_NAMES = ("DECISION_KINDS",)
 #: Perf-phase registries recognised for SL009
 #: (:data:`repro.obs.perf.PERF_PHASES`).
 _PHASE_REGISTRY_NAMES = ("PERF_PHASES",)
+#: Fleet-phase registries recognised for SL015
+#: (:data:`repro.obs.fleetperf.FLEETPERF_PHASES`).  Checked *before*
+#: the generic ``*_PHASES`` suffix match so the fleet vocabulary never
+#: leaks into SL009's perf-phase registry.
+_FLEETPERF_REGISTRY_NAMES = ("FLEETPERF_PHASES",)
 
 #: Trace-hub methods whose first string argument is an event name.
 _EVENT_CALL_ATTRS = {"emit", "wants", "subscribe", "unsubscribe"}
@@ -210,6 +215,7 @@ class LintContext:
     declared_metrics: Set[str] = field(default_factory=set)
     declared_decisions: Set[str] = field(default_factory=set)
     declared_phases: Set[str] = field(default_factory=set)
+    declared_fleet_phases: Set[str] = field(default_factory=set)
 
     def merge_registries(self, module: Module) -> None:
         """Collect module-level event/metric name declarations."""
@@ -231,6 +237,8 @@ class LintContext:
                     self.declared_metrics.update(strings)
                 elif name in _DECISION_REGISTRY_NAMES:
                     self.declared_decisions.update(strings)
+                elif name in _FLEETPERF_REGISTRY_NAMES:
+                    self.declared_fleet_phases.update(strings)
                 elif name in _PHASE_REGISTRY_NAMES or name.endswith("_PHASES"):
                     self.declared_phases.update(strings)
 
@@ -709,6 +717,55 @@ class PerfPhaseRule(ContextRule):
         return None
 
 
+class FleetPhaseRule(ContextRule):
+    """SL015: fleet phase names must be declared in FLEETPERF_PHASES.
+
+    The fleet observatory's phase taxonomy
+    (:data:`repro.obs.fleetperf.FLEETPERF_PHASES`) is the schema of
+    ``BENCH_parallel.json``'s attribution block, the worker-lifecycle
+    records the run cache replays, and the Chrome-trace worker lanes.
+    A typo'd phase at any ``charge(...)`` call site — worker lifecycle
+    or parent collector — would silently fork that schema, and a
+    computed name would defeat static checking, so non-literal names
+    are findings in their own right (the SL009 discipline).  Like
+    SL003/SL007/SL008/SL009 the rule stays quiet when the scan saw no
+    fleet-phase registry at all.
+    """
+
+    code = "SL015"
+    title = "fleet phase names must be declared in FLEETPERF_PHASES"
+
+    _CALL_ATTRS = {"charge"}
+
+    def applies_to(self, module: Module) -> bool:
+        if "/" not in module.relpath:
+            return True
+        return module.relpath.startswith(("obs/", "exec/"))
+
+    def collect(self, module: Module) -> Iterator[Candidate]:
+        for node in module.index.calls:
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in self._CALL_ATTRS:
+                yield self._candidate(module, node)
+
+    def judge(self, cand: Candidate, ctx: LintContext) -> Optional[Finding]:
+        if not ctx.declared_fleet_phases:
+            return None
+        if not cand.literal:
+            return self._cand_finding(
+                cand,
+                "fleet charge() phase name must be a string literal so "
+                "the fleet phase taxonomy stays statically checkable",
+            )
+        if cand.name not in ctx.declared_fleet_phases:
+            return self._cand_finding(
+                cand,
+                f"fleet phase {cand.name!r} is not declared in "
+                f"FLEETPERF_PHASES (repro.obs.fleetperf)",
+            )
+        return None
+
+
 #: Modules whose classes are instantiated per event / per packet, so an
 #: instance ``__dict__`` is measurable allocation churn (SL014).  The
 #: ``sim/`` and ``ndn/`` subpackages are hot wholesale; elsewhere only
@@ -816,6 +873,7 @@ ALL_RULES: Sequence[Rule] = (
     DecisionKindRule(),
     PerfPhaseRule(),
     SlotsRule(),
+    FleetPhaseRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
