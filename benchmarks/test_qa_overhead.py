@@ -212,6 +212,40 @@ def test_audit_off_is_zero_cost(tmp_path):
     assert audit_off <= rec_on * NOISE_BOUND
 
 
+def _statescope_workload(on: bool) -> float:
+    from repro.exec.engine import ExperimentEngine
+    from repro.experiments.fig6_tag_rates import enumerate_fig6
+
+    specs = enumerate_fig6(duration=2.0, scale=0.1)[:1]
+
+    def run() -> None:
+        engine = ExperimentEngine(jobs=1, use_cache=False, statescope=on)
+        engine.run_specs(specs, figure="bench")
+
+    return _best_of(run)
+
+
+def test_statescope_off_is_zero_cost():
+    """The state-footprint observatory holds the engine-layer zero-cost
+    contract: with ``statescope`` off (the default) ``run_scenario``
+    builds no scope and schedules no sampling ticks, so the off state
+    may never cost more than the observed state beyond timer noise.
+    Only that one direction is asserted — sampling pays a deep-sizeof
+    walk per tick, so the on state is legitimately slower."""
+    scope_off = _statescope_workload(on=False)
+    scope_on = _statescope_workload(on=True)
+
+    publish(
+        "statescope_overhead",
+        "Statescope overhead (best-of-%d wall times)\n" % REPEATS
+        + f"  run_specs     off={scope_off * 1e3:8.2f} ms   "
+        + f"on={scope_on * 1e3:8.2f} ms   "
+        + f"on/off={scope_on / scope_off:5.2f}x",
+    )
+
+    assert scope_off <= scope_on * NOISE_BOUND
+
+
 def test_off_state_run_to_run_stability():
     """The off path's cost is its own noise floor: repeated runs agree
     to well within the margin the zero-cost assertion relies on."""

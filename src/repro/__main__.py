@@ -267,6 +267,19 @@ def build_parser() -> argparse.ArgumentParser:
         "worker, spec slices + occupancy counter); implies --fleetperf "
         "(equivalent to REPRO_FLEET_TRACE)",
     )
+    fleet.add_argument(
+        "--statescope", action="store_true",
+        help="attach the state-footprint observatory to every run: "
+        "periodic PIT/CS/BF/FIB/heap state accounting, leak detection, "
+        "and closed-form conformance checks, reported via "
+        "'python -m repro.obs.statescope report' (equivalent to "
+        "REPRO_STATESCOPE=1)",
+    )
+    fleet.add_argument(
+        "--statescope-out", metavar="PATH", default=None,
+        help="write the fleet-merged statescope conformance report as "
+        "JSON; implies --statescope (equivalent to REPRO_STATESCOPE_OUT)",
+    )
     audit = parser.add_argument_group(
         "decision auditing", "access-control decision records, the "
         "misauthorization oracle, and the flight recorder "
@@ -343,6 +356,10 @@ def main(argv: List[str] = None) -> int:
         os.environ["REPRO_FLEETPERF"] = "1"
     if args.fleet_trace:
         os.environ["REPRO_FLEET_TRACE"] = args.fleet_trace
+    if args.statescope:
+        os.environ["REPRO_STATESCOPE"] = "1"
+    if args.statescope_out:
+        os.environ["REPRO_STATESCOPE_OUT"] = args.statescope_out
     # Decision auditing and the flight recorder follow suit: the runner
     # and engine read these, and spawned workers inherit them.
     if args.audit:

@@ -32,7 +32,17 @@ def inserts_to_saturation(
     500
     >>> inserts_to_saturation(500, 1e-2) > 2.5 * inserts_to_saturation(500, 1e-4)
     True
+
+    A reset threshold at (or beyond) certainty never triggers, so the
+    budget is infinite; a filter with no hash functions never sets a
+    bit and is rejected rather than reported as never-saturating.
     """
+    if num_hashes <= 0:
+        raise ValueError("num_hashes must be positive")
+    if max_fpp <= 0.0:
+        raise ValueError("max_fpp must be positive")
+    if max_fpp >= 1.0:
+        return math.inf
     size_bits = size_for_capacity(capacity, sizing_fpp, num_hashes)
     base = 1.0 - max_fpp ** (1.0 / num_hashes)
     return -(size_bits / num_hashes) * math.log(base)

@@ -77,8 +77,13 @@ def aggregate_hit_ratio(popularities: Sequence[float], capacity: int) -> float:
     1.0
     >>> 0.0 < aggregate_hit_ratio([0.5, 0.3, 0.1, 0.05, 0.05], capacity=2) < 1.0
     True
+
+    An empty catalog sees no requests, so its hit ratio is zero by
+    convention rather than a division error.
     """
     total = sum(popularities)
+    if total <= 0.0:
+        return 0.0
     ratios = hit_ratios(popularities, capacity)
     return sum(q * h for q, h in zip(popularities, ratios)) / total
 

@@ -36,7 +36,8 @@ __all__ = ["CACHE_FORMAT", "RunCache", "cache_key", "code_fingerprint"]
 #: Bump to invalidate every existing cache entry on format changes.
 #: 2: RunSummary grew the ``telemetry`` envelope (worker round-trip).
 #: 3: RunSummary grew the ``fleetperf`` worker-lifecycle record.
-CACHE_FORMAT = 3
+#: 4: RunSummary grew the ``statescope`` state-accounting record.
+CACHE_FORMAT = 4
 
 _fingerprint_memo: Optional[str] = None
 

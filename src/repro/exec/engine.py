@@ -53,6 +53,7 @@ from repro.exec.spec import ScenarioSpec
 from repro.exec.summary import RunSummary, summarize
 from repro.obs.audit import AUDIT_ENV, AUDIT_OUT_ENV
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.statescope import STATESCOPE_ENV, STATESCOPE_OUT_ENV
 
 __all__ = ["ExecStats", "ExperimentEngine", "resolve_jobs", "run_specs"]
 
@@ -114,6 +115,7 @@ def _execute_spec(
     telemetry_args: Optional[Dict[str, Any]] = None,
     audit: bool = False,
     fleetperf: bool = False,
+    statescope: bool = False,
 ) -> RunSummary:
     """Run one spec end to end (the worker entry point).
 
@@ -138,6 +140,10 @@ def _execute_spec(
     simulator-stack import, scenario build, sim run, envelope build,
     and envelope pickle to fleet phases, and its record travels home in
     ``summary.fleetperf`` the same way.
+
+    ``statescope`` asks for the state-accounting round-trip: the run
+    attaches a :class:`~repro.obs.statescope.StateScope` and its frozen
+    record travels home in ``summary.statescope`` the same way.
     """
     lifecycle = None
     if fleetperf:
@@ -181,9 +187,19 @@ def _execute_spec(
 
         auditor = DecisionAudit()
 
+    scope = None
+    if statescope:
+        from repro.obs.statescope import StateScope
+
+        scope = StateScope()
+
     mark = time.perf_counter()
     result = run_scenario(
-        scenario, telemetry=telemetry, sanitizer=sanitizer, audit=auditor
+        scenario,
+        telemetry=telemetry,
+        sanitizer=sanitizer,
+        audit=auditor,
+        statescope=scope,
     )
     if lifecycle is not None:
         lifecycle.charge("fleet.sim", time.perf_counter() - mark)
@@ -196,6 +212,8 @@ def _execute_spec(
         summary.telemetry = result.telemetry.record
     if result.audit is not None:
         summary.audit = result.audit.summary()
+    if result.statescope is not None:
+        summary.statescope = result.statescope.record()
     summary.wall_seconds = time.perf_counter() - began
     summary.worker_pid = os.getpid()
     if lifecycle is not None:
@@ -207,12 +225,12 @@ def _execute_spec(
 
 
 def _execute_indexed(
-    payload: Tuple[int, ScenarioSpec, Optional[Dict[str, Any]], bool, bool]
+    payload: Tuple[int, ScenarioSpec, Optional[Dict[str, Any]], bool, bool, bool]
 ) -> Tuple[int, RunSummary]:
     """Pool adapter: tags each result with its pending-list slot so the
     completion queue (``imap_unordered``) can restore submission order."""
-    slot, spec, telemetry_args, audit, fleetperf = payload
-    return slot, _execute_spec(spec, telemetry_args, audit, fleetperf)
+    slot, spec, telemetry_args, audit, fleetperf, statescope = payload
+    return slot, _execute_spec(spec, telemetry_args, audit, fleetperf, statescope)
 
 
 @dataclass
@@ -284,6 +302,18 @@ class ExperimentEngine:
         worker, spec slices + occupancy counter) after every
         :meth:`run_specs` call (``None`` = ``REPRO_FLEET_TRACE`` env,
         else off).  Implies ``fleetperf``.
+    statescope:
+        State-accounting round-trip (:mod:`repro.obs.statescope`):
+        ``True``/``False`` explicit, ``None`` = ``REPRO_STATESCOPE``
+        env, else on automatically whenever ``statescope_out`` is set.
+        Per-run records ride home in ``summary.statescope`` (cache
+        hits replay them) and fold into :attr:`fleet_statescope` in
+        submission order — bit-identical between serial and parallel
+        execution.
+    statescope_out:
+        Write the fleet-merged statescope report (merged record +
+        rendered text) as JSON after every :meth:`run_specs` call
+        (``None`` = ``REPRO_STATESCOPE_OUT`` env, else off).
     stream:
         Progress stream (``None`` = stderr; tests pass a StringIO).
     """
@@ -303,6 +333,8 @@ class ExperimentEngine:
         audit_out: Optional[str] = None,
         fleetperf: Optional[bool] = None,
         fleet_trace: Optional[str] = None,
+        statescope: Optional[bool] = None,
+        statescope_out: Optional[str] = None,
         stream: Optional[object] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
@@ -375,6 +407,24 @@ class ExperimentEngine:
         #: :func:`repro.obs.fleetperf.attribute_speedup` and the
         #: Chrome-trace export.
         self.last_fleetperf: Optional[Dict[str, Any]] = None
+        self.statescope_out = (
+            statescope_out
+            if statescope_out is not None
+            else os.environ.get(STATESCOPE_OUT_ENV, "").strip() or None
+        )
+        resolved_statescope = (
+            statescope if statescope is not None else _env_flag(STATESCOPE_ENV)
+        )
+        self.statescope = (
+            resolved_statescope
+            if resolved_statescope is not None
+            else self.statescope_out is not None
+        )
+        #: Per-run statescope records folded in submission order (series
+        #: peaks/lasts sum, findings and conformance checks concatenate;
+        #: see :func:`repro.obs.statescope.merge_statescope`) — the
+        #: fleet-wide state-footprint view, cache hits included.
+        self.fleet_statescope: Dict[str, Any] = {}
         self.stream = stream
         #: Per-run telemetry envelopes merged in submission order — the
         #: fleet-wide metrics view.  Deterministic: for a fixed seed the
@@ -491,7 +541,14 @@ class ExperimentEngine:
             if workers > 1:
                 mode = "parallel"
                 payloads = [
-                    (slot, spec, telemetry_args, self.audit, self.fleetperf)
+                    (
+                        slot,
+                        spec,
+                        telemetry_args,
+                        self.audit,
+                        self.fleetperf,
+                        self.statescope,
+                    )
                     for slot, (_, spec, _) in enumerate(pending)
                 ]
                 context = multiprocessing.get_context("spawn")
@@ -525,7 +582,11 @@ class ExperimentEngine:
                     if fleet is not None:
                         fleet.spec_submitted(slot, spec.label)
                     summary = _execute_spec(
-                        spec, telemetry_args, self.audit, self.fleetperf
+                        spec,
+                        telemetry_args,
+                        self.audit,
+                        self.fleetperf,
+                        self.statescope,
                     )
                     summaries[slot] = summary
                     if fleet is not None:
@@ -543,6 +604,7 @@ class ExperimentEngine:
         final = [summary for summary in results if summary is not None]
         self._merge_fleet_telemetry(final, default_config)
         self._merge_fleet_audit(final)
+        self._merge_fleet_statescope(final)
         wall = time.perf_counter() - began
         if fleet is not None:
             from repro.obs.fleetperf import merge_fleetperf
@@ -576,6 +638,8 @@ class ExperimentEngine:
                 fh.write("\n")
         if self.audit_out and self.fleet_audit:
             self._write_audit_report(figure)
+        if self.statescope_out and self.fleet_statescope:
+            self._write_statescope_report(figure)
         return final
 
     def _merge_fleet_telemetry(
@@ -627,6 +691,33 @@ class ExperimentEngine:
             if summary.audit:
                 merge_audit_summaries(self.fleet_audit, summary.audit)
 
+    def _merge_fleet_statescope(self, summaries: Sequence[RunSummary]) -> None:
+        """Fold per-run statescope records into :attr:`fleet_statescope`
+        in submission order — all merged quantities are order-free sums
+        or concatenations keyed by submission slot, so serial and
+        ``--jobs N`` merges are bit-for-bit identical (cache hits replay
+        their stored records the same way)."""
+        if not self.statescope:
+            return
+        from repro.obs.statescope import merge_statescope
+
+        for summary in summaries:
+            if summary.statescope:
+                merge_statescope(self.fleet_statescope, summary.statescope)
+
+    def _write_statescope_report(self, figure: str) -> None:
+        from repro.obs.statescope import render_statescope_report
+
+        document = {
+            "figure": figure,
+            "jobs": self.jobs,
+            "record": self.fleet_statescope,
+            "report": render_statescope_report(self.fleet_statescope),
+        }
+        with open(self.statescope_out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
     def _write_audit_report(self, figure: str) -> None:
         from repro.obs.audit import fp_confidence, render_audit_report
 
@@ -670,6 +761,7 @@ def run_specs(
     collect_telemetry: Optional[bool] = None,
     audit: Optional[bool] = None,
     fleetperf: Optional[bool] = None,
+    statescope: Optional[bool] = None,
 ) -> List[RunSummary]:
     """One-shot convenience over :class:`ExperimentEngine`."""
     engine = ExperimentEngine(
@@ -680,5 +772,6 @@ def run_specs(
         collect_telemetry=collect_telemetry,
         audit=audit,
         fleetperf=fleetperf,
+        statescope=statescope,
     )
     return engine.run_specs(specs, figure=figure)

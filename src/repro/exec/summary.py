@@ -98,6 +98,12 @@ class RunSummary:
     #: ran with the fleet observatory on; ``None`` otherwise.  Excluded
     #: from equality for the same reason as ``telemetry``.
     fleetperf: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    #: The run's state-accounting record (a
+    #: :meth:`~repro.obs.statescope.StateScope.record` dict: sampled
+    #: ``state.*`` series, growth findings, model-conformance checks)
+    #: when the engine ran with the statescope on; ``None`` otherwise.
+    #: Excluded from equality for the same reason as ``telemetry``.
+    statescope: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # RunResult-compatible accessors
@@ -229,6 +235,7 @@ class RunSummary:
             "telemetry": self.telemetry,
             "audit": self.audit,
             "fleetperf": self.fleetperf,
+            "statescope": self.statescope,
         }
 
     @classmethod
@@ -276,6 +283,7 @@ class RunSummary:
             telemetry=payload.get("telemetry"),
             audit=payload.get("audit"),
             fleetperf=payload.get("fleetperf"),
+            statescope=payload.get("statescope"),
         )
 
 

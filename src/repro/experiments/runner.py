@@ -30,8 +30,10 @@ from repro.crypto.pki import Certificate, CertificateStore
 from repro.crypto.rsa import generate_keypair
 from repro.crypto.sim_signature import SimulatedKeyPair
 from repro.experiments.scenario import Scenario
+from repro.ndn.link import Face
 from repro.ndn.network import Network
 from repro.ndn.node import AccessPoint
+from repro.ndn.packets import reset_nonce_counter
 from repro.sim.engine import Simulator
 from repro.workload.catalog import Catalog, build_catalog
 
@@ -78,6 +80,9 @@ class RunResult:
     #: The run's :class:`~repro.obs.flightrec.FlightRecorder`, when one
     #: was installed (None otherwise).
     flightrec: Optional[object] = None
+    #: The run's :class:`~repro.obs.statescope.StateScope`, when state
+    #: accounting was on (None otherwise); already finalized.
+    statescope: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Table IV quantities
@@ -180,6 +185,13 @@ def build_assembly(scenario: Scenario) -> _Assembly:
     config = spec.config_transform(scenario.config)
     config.validate()
     plan = scenario.plan
+
+    # Fresh process-global allocators: nonce and face-id values must
+    # depend only on the scenario, not on earlier runs in this process
+    # (state-footprint byte accounting is compared bit-for-bit between
+    # serial and per-worker executions).
+    reset_nonce_counter()
+    Face.reset_face_ids()
 
     sim = Simulator(seed=config.seed)
     network = Network(sim)
@@ -341,6 +353,7 @@ def run_scenario(
     audit: Optional[object] = None,
     flightrec: Optional[object] = None,
     perf: Optional[object] = None,
+    statescope: Optional[object] = None,
 ) -> RunResult:
     """Assemble and execute one scenario end to end.
 
@@ -358,11 +371,16 @@ def run_scenario(
     (benchmarks use this for a tight measurement window: it is
     installed after any session-created observatory, so it wins, and
     its start/stop bracket exactly the ``sim.run`` call — which is
-    what makes the phase-coverage figure honest).
+    what makes the phase-coverage figure honest).  ``statescope``
+    installs an explicit :class:`~repro.obs.statescope.StateScope`
+    (env fallback ``REPRO_STATESCOPE``/``REPRO_STATESCOPE_OUT``); the
+    scope is finalized before the telemetry session so its record rides
+    the session record and its timeline the Chrome trace.
     """
     from repro.obs.audit import maybe_audit
     from repro.obs.flightrec import maybe_flightrec
     from repro.obs.session import TelemetrySession, current_telemetry
+    from repro.obs.statescope import maybe_statescope
     from repro.qa.simsan import maybe_install
 
     assembly = build_assembly(scenario)
@@ -405,6 +423,19 @@ def run_scenario(
         )
     if session is not None and audit is not None:
         session.audit = audit
+    if statescope is None:
+        statescope = maybe_statescope()
+    if statescope is not None:
+        statescope.install(
+            sim,
+            network=assembly.network,
+            config=config,
+            audit=audit,
+            label=scenario.label or scenario.scheme,
+        )
+        statescope.start(horizon=horizon)
+        if session is not None:
+            session.statescope = statescope
     if perf is not None:
         perf.install(sim, network=assembly.network)
 
@@ -427,6 +458,8 @@ def run_scenario(
         perf.stop()
         perf.uninstall()
 
+    if statescope is not None:
+        statescope.finalize()
     if session is not None:
         session.finalize(wall_seconds=wall)
     if sanitizer is not None:
@@ -447,4 +480,5 @@ def run_scenario(
         telemetry=session,
         audit=audit,
         flightrec=flightrec,
+        statescope=statescope,
     )

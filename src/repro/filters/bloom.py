@@ -214,6 +214,21 @@ class BloomFilter:
         set_bits = _popcount(int.from_bytes(self._bits, "big"))
         return set_bits / self.size_bits
 
+    def state_cost(self) -> dict:
+        """Statescope accounting: set-bit population + deep bytes.
+
+        The bit array *is* the filter's state — TACTIC's bounded-state
+        claim in one number — so only ``_bits`` is traversed.
+        """
+        from repro.obs.statescope import deep_sizeof
+
+        set_bits = _popcount(int.from_bytes(self._bits, "big"))
+        return {
+            "bits_set": set_bits,
+            "size_bits": self.size_bits,
+            "bytes": deep_sizeof(self._bits),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"BloomFilter(capacity={self.capacity}, m={self.size_bits}, "

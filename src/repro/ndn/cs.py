@@ -156,3 +156,16 @@ class ContentStore:  # simlint: disable=SL014 (QA tests stub methods per instanc
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def state_cost(self) -> Dict[str, int]:
+        """Statescope accounting: cached packets + deep bytes.
+
+        Only the owned containers are traversed; the shared sizeof memo
+        inside :func:`~repro.obs.statescope.deep_sizeof` keeps names
+        referenced by both maps billed once.
+        """
+        from repro.obs.statescope import deep_sizeof
+
+        seen: set = set()
+        size = deep_sizeof(self._store, seen) + deep_sizeof(self._frequency, seen)
+        return {"entries": len(self._store), "bytes": size}

@@ -151,3 +151,12 @@ class Fib:
 
     def prefixes(self) -> list:
         return [Name(components) for components in self._entries]
+
+    def state_cost(self) -> Dict[str, int]:
+        """Statescope accounting: routed prefixes + deep bytes (the
+        lookup memo is real resident state, so it is billed too)."""
+        from repro.obs.statescope import deep_sizeof
+
+        seen: set = set()
+        size = deep_sizeof(self._entries, seen) + deep_sizeof(self._memo, seen)
+        return {"entries": len(self._entries), "bytes": size}

@@ -31,6 +31,11 @@ class Face:
 
     __slots__ = ("face_id", "node", "link", "peer", "remote_face")
 
+    @classmethod
+    def reset_face_ids(cls) -> None:
+        """Restart face-id allocation at 1 (see ``reset_nonce_counter``)."""
+        cls._counter = 0
+
     def __init__(self, node: "Node", link: "Link") -> None:
         Face._counter += 1
         self.face_id = Face._counter

@@ -28,7 +28,32 @@ from typing import Any, Optional
 
 from repro.ndn.name import Name
 
-_nonce_counter = itertools.count(1)
+class _NonceCounter:
+    """Process-global Interest nonce allocator (never instantiated)."""
+
+    __slots__ = ()
+
+    _iter = itertools.count(1)
+
+    @classmethod
+    def take(cls) -> int:
+        return next(cls._iter)
+
+    @classmethod
+    def reset(cls) -> None:
+        cls._iter = itertools.count(1)
+
+
+def reset_nonce_counter() -> None:
+    """Restart nonce allocation at 1.
+
+    Called once per scenario build so nonce values depend only on the
+    scenario, never on how many packets earlier runs in the same
+    process created — simulations (and their state-footprint
+    accounting) stay identical whether they execute in a fresh worker
+    or after other runs.
+    """
+    _NonceCounter.reset()
 
 #: Fixed header overheads (bytes), approximating NDN TLV framing.
 INTEREST_BASE_SIZE = 32
@@ -60,7 +85,7 @@ class Interest:
     tag: Optional[Any] = None  # repro.core.tag.Tag (duck-typed to avoid cycle)
     flag_f: float = 0.0
     observed_access_path: bytes = b"\x00" * ACCESS_PATH_SIZE
-    nonce: int = field(default_factory=lambda: next(_nonce_counter))
+    nonce: int = field(default_factory=_NonceCounter.take)
     lifetime: float = 1.0
     issued_at: float = 0.0
     # Simulation instrumentation (not wire fields): who originated the

@@ -89,6 +89,22 @@ class Pit:
     def __contains__(self, name: NameLike) -> bool:
         return self.find(Name(name)) is not None
 
+    def state_cost(self) -> Dict[str, int]:
+        """Statescope accounting: live entries/records + deep bytes.
+
+        Passes the owned entry map (never ``self``) so the traversal
+        stays inside PIT state — observability hooks hanging off the
+        table are not part of its footprint.
+        """
+        from repro.obs.statescope import deep_sizeof
+
+        records = sum(len(entry.records) for entry in self._entries.values())
+        return {
+            "entries": len(self._entries),
+            "records": records,
+            "bytes": deep_sizeof(self._entries),
+        }
+
     def find(self, name: NameLike, now: Optional[float] = None) -> Optional[PitEntry]:
         """Return the live entry for ``name``; expired entries are purged."""
         perf = self.perf

@@ -26,7 +26,13 @@ One package gathers everything a run can tell you about itself:
   false-negative (the empirical BF-misauthorization report);
 - :mod:`repro.obs.flightrec` — a bounded ring of recent events that
   dumps a post-mortem bundle on SimSan violations, NACK storms, or on
-  demand.
+  demand;
+- :mod:`repro.obs.statescope` — the state-footprint observatory:
+  periodic deep-byte accounting over every stateful structure (PIT,
+  CS, Bloom filters, FIB, audit shadows, spans, event heap), linear
+  trend fitting that flags unbounded growth, and conformance checks
+  comparing empirical occupancy against the ``repro.analysis`` closed
+  forms.
 
 Everything is off by default; an unconfigured run pays nothing beyond
 a handful of ``None`` checks.
@@ -53,6 +59,13 @@ _FLEETPERF_EXPORTS = (
     "attribute_speedup",
     "merge_fleetperf",
 )
+_STATESCOPE_EXPORTS = (
+    "STATESCOPE_SERIES",
+    "StateScope",
+    "deep_sizeof",
+    "merge_statescope",
+    "statescope_metrics",
+)
 
 
 def __getattr__(name):
@@ -67,6 +80,10 @@ def __getattr__(name):
         from repro.obs import fleetperf
 
         return getattr(fleetperf, name)
+    if name in _STATESCOPE_EXPORTS:
+        from repro.obs import statescope
+
+        return getattr(statescope, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -84,9 +101,14 @@ __all__ = [
     "attribute_speedup",
     "merge_fleetperf",
     "PeriodicSampler",
+    "STATESCOPE_SERIES",
     "SimProfiler",
     "StackSampler",
+    "StateScope",
     "SPAN_EVENTS",
+    "deep_sizeof",
+    "merge_statescope",
+    "statescope_metrics",
     "merge_collapsed",
     "merge_perf_reports",
     "Span",

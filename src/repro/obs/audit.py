@@ -340,6 +340,23 @@ class DecisionAudit:
                 cost=cost,
             )
 
+    def state_cost(self) -> Dict[str, int]:
+        """Statescope accounting: oracle shadow-set population + deep
+        bytes (per-node Bloom shadows plus the issued/revoked sets)."""
+        from repro.obs.statescope import deep_sizeof
+
+        seen: set = set()
+        shadow = sum(len(state.shadow) for state in self._nodes.values())
+        size = deep_sizeof(self._issued, seen) + deep_sizeof(self._revoked, seen)
+        for state in self._nodes.values():
+            size += deep_sizeof(state.shadow, seen)
+        return {
+            "shadow": shadow,
+            "issued": len(self._issued),
+            "revoked": len(self._revoked),
+            "bytes": size,
+        }
+
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------

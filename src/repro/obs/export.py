@@ -39,6 +39,7 @@ __all__ = [
     "chrome_trace_events",
     "fleet_trace_events",
     "perf_counter_events",
+    "state_counter_events",
     "write_chrome_trace",
     "write_fleet_trace",
 ]
@@ -234,6 +235,53 @@ def perf_counter_events(timeline: Sequence, pid: int = 1) -> List[dict]:
     return events
 
 
+def state_counter_events(timeline: Sequence, pid: int = 1) -> List[dict]:
+    """Render a statescope timeline as Chrome counter tracks.
+
+    ``timeline`` is the scope's ``(virtual_time, {series: value})``
+    samples.  Each sample becomes two counter ("C") events:
+    ``state.bytes`` — deep bytes per component (the stacked
+    memory-footprint track) — and ``state.occupancy``, the logical
+    units (PIT entries/records, CS entries, BF bits set, open spans,
+    pending events).
+    """
+    events: List[dict] = []
+    for entry in timeline:
+        time_s, values = entry[0], entry[1]
+        bytes_args: Dict[str, float] = {}
+        unit_args: Dict[str, float] = {}
+        for series in sorted(values):
+            if not series.startswith("state."):
+                continue
+            component = series[len("state."):]
+            if series.endswith(".bytes"):
+                if series != "state.total.bytes":
+                    bytes_args[component[: -len(".bytes")]] = values[series]
+            else:
+                unit_args[component] = values[series]
+        events.append(
+            {
+                "name": "state.bytes",
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": time_s * _MICROS,
+                "args": bytes_args,
+            }
+        )
+        events.append(
+            {
+                "name": "state.occupancy",
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": time_s * _MICROS,
+                "args": unit_args,
+            }
+        )
+    return events
+
+
 #: The worker phases rendered as sequential child slices inside each
 #: spec slice, in lifecycle order (dispatch/ship live between slices).
 _FLEET_CHILD_PHASES = (
@@ -360,20 +408,24 @@ def write_chrome_trace(
 ) -> int:
     """Write a Chrome trace document covering ``runs`` (one pid each).
 
-    ``runs`` is ``[(run_label, records), ...]`` — or, with a perf
-    observatory attached, ``[(run_label, records, timeline), ...]``
-    where the third element (may be None) renders as counter tracks via
-    :func:`perf_counter_events`.  Returns the event count.  The whole
-    document is rewritten on every call — trace-event JSON has no
-    append form — so partial invocations stay loadable.
+    ``runs`` is ``[(run_label, records), ...]`` — or, with observers
+    attached, ``[(run_label, records, perf_timeline, state_timeline),
+    ...]`` where the optional third element (may be None) renders as
+    counter tracks via :func:`perf_counter_events` and the optional
+    fourth via :func:`state_counter_events`.  Returns the event count.
+    The whole document is rewritten on every call — trace-event JSON
+    has no append form — so partial invocations stay loadable.
     """
     events: List[dict] = []
     for index, entry in enumerate(runs):
         run, records = entry[0], entry[1]
         counters = entry[2] if len(entry) > 2 else None
+        state_counters = entry[3] if len(entry) > 3 else None
         events.extend(chrome_trace_events(records, pid=index + 1, run=run))
         if counters:
             events.extend(perf_counter_events(counters, pid=index + 1))
+        if state_counters:
+            events.extend(state_counter_events(state_counters, pid=index + 1))
     document = {"traceEvents": events, "displayTimeUnit": "ms"}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh)

@@ -182,13 +182,21 @@ class RunHistory:
     def _spec_metrics(summary: Any) -> Dict[str, Any]:
         """The summary's deterministic metrics, with the decision-audit
         misauthorization rates folded in when auditing was on — so the
-        regression gate also fails on misauthorization drift."""
+        regression gate also fails on misauthorization drift — and the
+        statescope ``state.*``/``mem.*``/``model.*`` series when the
+        state observatory was on, so state-footprint growth and
+        capacity-model drift gate alongside figure values."""
         metrics = dict(summary.metrics_dict())
         audit = getattr(summary, "audit", None)
         if audit:
             from repro.obs.audit import audit_metrics
 
             metrics.update(audit_metrics(audit))
+        statescope = getattr(summary, "statescope", None)
+        if statescope:
+            from repro.obs.statescope import statescope_metrics
+
+            metrics.update(statescope_metrics(statescope))
         return metrics
 
     def _next_sequence(self) -> int:

@@ -59,6 +59,7 @@ class PeriodicSampler:
         self.series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[float, float]]] = {}
         self.ticks = 0
         self._stopped = False
+        self._last_tick: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Probe registration
@@ -113,13 +114,33 @@ class PeriodicSampler:
             self.sim.schedule_at(first, self._tick)
 
     def stop(self) -> None:
+        """Flush the final partial interval, then stop ticking."""
+        self.flush()
         self._stopped = True
+
+    def flush(self) -> int:
+        """Take a last sample at the current virtual time.
+
+        Ticks only fire on whole-interval boundaries, so without this
+        the tail of a run — or all of a run shorter than one interval —
+        would be invisible to sampled series.  Idempotent per instant;
+        returns the number of samples taken (0 or 1).
+        """
+        now = self.sim.now
+        if self._stopped or (self._last_tick is not None and self._last_tick >= now):
+            return 0
+        self.ticks += 1
+        self._last_tick = now
+        for probe in self.probes:
+            self.series[probe.key()].append((now, float(probe.fn())))
+        return 1
 
     def _tick(self) -> None:
         if self._stopped:
             return
         now = self.sim.now
         self.ticks += 1
+        self._last_tick = now
         for probe in self.probes:
             self.series[probe.key()].append((now, float(probe.fn())))
         next_time = now + self.interval

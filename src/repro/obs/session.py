@@ -148,13 +148,16 @@ class TelemetryWriter:
         records: Iterable[TraceRecord],
         run: str,
         counters: Optional[list] = None,
+        state_counters: Optional[list] = None,
     ) -> int:
         """Persist one run's trace records.
 
         ``counters`` optionally carries the perf observatory's timeline
-        (``(virtual_time, events, {phase: cum_seconds})`` snapshots);
-        the chrome format renders it as counter tracks alongside the
-        event slices, the jsonl format ignores it.
+        (``(virtual_time, events, {phase: cum_seconds})`` snapshots)
+        and ``state_counters`` the statescope timeline
+        (``(virtual_time, {series: value})`` samples); the chrome
+        format renders both as counter tracks alongside the event
+        slices, the jsonl format ignores them.
         """
         if not self.config.trace_path:
             return 0
@@ -165,7 +168,7 @@ class TelemetryWriter:
             from repro.obs.export import write_chrome_trace
 
             batch = list(records)
-            self._trace_runs.append((run, batch, counters))
+            self._trace_runs.append((run, batch, counters, state_counters))
             write_chrome_trace(self.config.trace_path, self._trace_runs)
             return len(batch)
         mode = "a" if self._trace_started else "w"
@@ -217,6 +220,11 @@ class TelemetrySession:
         #: by the runner when decision auditing is on); its tallies are
         #: bridged into ``audit_*`` metrics at finalize.
         self.audit = None
+        #: The run's :class:`~repro.obs.statescope.StateScope` (attached
+        #: by the runner when state accounting is on); its frozen record
+        #: rides the finalize record and its timeline becomes Chrome
+        #: counter tracks.
+        self.statescope = None
 
         if config.trace_path:
             # Imported here: experiments.tracelog sits above obs in the
@@ -359,6 +367,9 @@ class TelemetrySession:
             "profile": self.profiler.report() if self.profiler else None,
             "perf": self.perf.report() if self.perf else None,
             "flame": self.flame.report() if self.flame else None,
+            "statescope": (
+                self.statescope.record() if self.statescope is not None else None
+            ),
         }
         self.record = record
         if self.config.collect:
@@ -372,6 +383,9 @@ class TelemetrySession:
                 self.recorder.records,
                 run=self.label,
                 counters=self.perf.timeline if self.perf else None,
+                state_counters=(
+                    self.statescope.timeline if self.statescope is not None else None
+                ),
             )
         if self.flame is not None and self.config.flame_path:
             writer.add_flame(self.flame.collapsed)

@@ -121,6 +121,7 @@ class FileScan:
     decisions: Set[str] = field(default_factory=set)
     phases: Set[str] = field(default_factory=set)
     fleet_phases: Set[str] = field(default_factory=set)
+    statescope: Set[str] = field(default_factory=set)
 
 
 def scan_file(
@@ -143,6 +144,7 @@ def scan_file(
     scan.decisions = registries.declared_decisions
     scan.phases = registries.declared_phases
     scan.fleet_phases = registries.declared_fleet_phases
+    scan.statescope = registries.declared_statescope
     empty_ctx = LintContext()
     for rule in rules:
         if select is not None and rule.code not in select:
@@ -172,6 +174,7 @@ def _judge_and_filter(
         ctx.declared_decisions |= scan.decisions
         ctx.declared_phases |= scan.phases
         ctx.declared_fleet_phases |= scan.fleet_phases
+        ctx.declared_statescope |= scan.statescope
 
     findings: List[Finding] = []
     for scan in scans:

@@ -87,6 +87,9 @@ _PHASE_REGISTRY_NAMES = ("PERF_PHASES",)
 #: the generic ``*_PHASES`` suffix match so the fleet vocabulary never
 #: leaks into SL009's perf-phase registry.
 _FLEETPERF_REGISTRY_NAMES = ("FLEETPERF_PHASES",)
+#: Statescope series registries recognised for SL016
+#: (:data:`repro.obs.statescope.STATESCOPE_SERIES`).
+_STATESCOPE_REGISTRY_NAMES = ("STATESCOPE_SERIES",)
 
 #: Trace-hub methods whose first string argument is an event name.
 _EVENT_CALL_ATTRS = {"emit", "wants", "subscribe", "unsubscribe"}
@@ -216,6 +219,7 @@ class LintContext:
     declared_decisions: Set[str] = field(default_factory=set)
     declared_phases: Set[str] = field(default_factory=set)
     declared_fleet_phases: Set[str] = field(default_factory=set)
+    declared_statescope: Set[str] = field(default_factory=set)
 
     def merge_registries(self, module: Module) -> None:
         """Collect module-level event/metric name declarations."""
@@ -239,6 +243,8 @@ class LintContext:
                     self.declared_decisions.update(strings)
                 elif name in _FLEETPERF_REGISTRY_NAMES:
                     self.declared_fleet_phases.update(strings)
+                elif name in _STATESCOPE_REGISTRY_NAMES:
+                    self.declared_statescope.update(strings)
                 elif name in _PHASE_REGISTRY_NAMES or name.endswith("_PHASES"):
                     self.declared_phases.update(strings)
 
@@ -766,6 +772,55 @@ class FleetPhaseRule(ContextRule):
         return None
 
 
+class StateScopeSeriesRule(ContextRule):
+    """SL016: statescope series names must be declared in
+    STATESCOPE_SERIES.
+
+    The state observatory's series vocabulary
+    (:data:`repro.obs.statescope.STATESCOPE_SERIES`) is the schema of
+    the ``state.*`` regression-gate metrics, the Chrome-trace counter
+    tracks, and the conformance report's series table.  A typo'd name
+    at a ``track(...)`` call site would silently open an unregistered
+    series that the summary/merge layers drop, and a computed name
+    would defeat static checking, so non-literal names are findings in
+    their own right (the SL009/SL015 discipline).  Like those rules it
+    stays quiet when the scan saw no statescope registry at all.
+    """
+
+    code = "SL016"
+    title = "statescope series names must be declared in STATESCOPE_SERIES"
+
+    _CALL_ATTRS = {"track"}
+
+    def applies_to(self, module: Module) -> bool:
+        if "/" not in module.relpath:
+            return True
+        return module.relpath.startswith(("obs/", "exec/"))
+
+    def collect(self, module: Module) -> Iterator[Candidate]:
+        for node in module.index.calls:
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in self._CALL_ATTRS:
+                yield self._candidate(module, node)
+
+    def judge(self, cand: Candidate, ctx: LintContext) -> Optional[Finding]:
+        if not ctx.declared_statescope:
+            return None
+        if not cand.literal:
+            return self._cand_finding(
+                cand,
+                "statescope track() series name must be a string literal "
+                "so the state-series vocabulary stays statically checkable",
+            )
+        if cand.name not in ctx.declared_statescope:
+            return self._cand_finding(
+                cand,
+                f"state series {cand.name!r} is not declared in "
+                f"STATESCOPE_SERIES (repro.obs.statescope)",
+            )
+        return None
+
+
 #: Modules whose classes are instantiated per event / per packet, so an
 #: instance ``__dict__`` is measurable allocation churn (SL014).  The
 #: ``sim/`` and ``ndn/`` subpackages are hot wholesale; elsewhere only
@@ -874,6 +929,7 @@ ALL_RULES: Sequence[Rule] = (
     PerfPhaseRule(),
     SlotsRule(),
     FleetPhaseRule(),
+    StateScopeSeriesRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

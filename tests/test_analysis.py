@@ -12,6 +12,13 @@ from repro.analysis import (
     tag_bandwidth_overhead,
 )
 from repro.analysis.bloom_math import tag_insert_rate
+from repro.analysis.cache_math import (
+    aggregate_hit_ratio,
+    characteristic_time,
+    expected_origin_load,
+    hit_ratios,
+    zipf_popularities,
+)
 from repro.analysis.overhead_math import unauthorized_bandwidth_waste
 from repro.analysis.revocation_math import revocation_cost_per_client
 from repro.experiments import Scenario, run_scenario
@@ -54,6 +61,75 @@ class TestBloomMath:
         assert tag_insert_rate(2.0, 3.0, 10.0) == pytest.approx(0.6)
         with pytest.raises(ValueError):
             tag_insert_rate(1, 1, 0)
+
+
+class TestBloomMathEdges:
+    """Degenerate regimes the statescope conformance engine can hit."""
+
+    def test_zero_insert_rate_means_zero_resets(self):
+        assert expected_resets(0.0, 100.0, 500, 1e-4) == 0.0
+        assert expected_resets(-1.0, 100.0, 500, 1e-4) == 0.0
+        assert expected_resets(10.0, 0.0, 500, 1e-4) == 0.0
+
+    def test_zero_insert_rate_requests_never_reset(self):
+        assert requests_per_reset(100.0, 0.0, 500, 1e-4) == float("inf")
+        assert requests_per_reset(0.0, 1.0, 500, 1e-4) == 0.0
+
+    def test_no_hash_functions_rejected(self):
+        with pytest.raises(ValueError):
+            inserts_to_saturation(500, 1e-4, num_hashes=0)
+        with pytest.raises(ValueError):
+            inserts_to_saturation(500, 1e-4, num_hashes=-1)
+
+    def test_saturation_threshold_at_certainty_never_triggers(self):
+        assert inserts_to_saturation(500, 1.0) == float("inf")
+        assert inserts_to_saturation(500, 1.5) == float("inf")
+        assert expected_resets(10.0, 100.0, 500, 1.0) == 0.0
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            inserts_to_saturation(500, 0.0)
+        with pytest.raises(ValueError):
+            inserts_to_saturation(500, -1e-4)
+
+    def test_zero_clients_insert_nothing(self):
+        assert tag_insert_rate(0.0, 3.0, 10.0) == 0.0
+
+
+class TestCacheMathEdges:
+    """Che's approximation at the boundaries of its domain."""
+
+    def test_empty_cache_rejected(self):
+        with pytest.raises(ValueError):
+            characteristic_time([0.5, 0.5], capacity=0)
+        with pytest.raises(ValueError):
+            aggregate_hit_ratio([0.5, 0.5], capacity=0)
+
+    def test_empty_catalog_hits_nothing(self):
+        assert hit_ratios([], capacity=4) == []
+        assert aggregate_hit_ratio([], capacity=4) == 0.0
+        assert aggregate_hit_ratio([0.0, 0.0], capacity=4) == 0.0
+
+    def test_single_object_regime(self):
+        # One object against any positive capacity is always resident.
+        assert zipf_popularities(1, 1.2) == [1.0]
+        assert characteristic_time([1.0], capacity=1) == float("inf")
+        assert hit_ratios([1.0], capacity=1) == [1.0]
+        assert aggregate_hit_ratio([1.0], capacity=1) == 1.0
+        assert expected_origin_load(10.0, [1.0], capacity=1) == 0.0
+
+    def test_zero_popularity_catalog_rejected_by_che(self):
+        # A finite cache with an all-zero catalog has no fixed point.
+        with pytest.raises(ValueError):
+            characteristic_time([0.0, 0.0, 0.0], capacity=2)
+
+    def test_single_request_dominant_object(self):
+        # A near-degenerate Zipf (one object takes almost all requests)
+        # keeps the dominant object resident even in a tiny cache.
+        pops = [0.999] + [0.001 / 9] * 9
+        ratios = hit_ratios(pops, capacity=1)
+        assert ratios[0] > 0.99
+        assert aggregate_hit_ratio(pops, capacity=1) > 0.99
 
 
 class TestRevocationMath:

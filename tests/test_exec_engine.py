@@ -3,6 +3,7 @@ serial/parallel equivalence, and the content-addressed run cache."""
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pickle
 
@@ -407,6 +408,92 @@ class TestFleetAudit:
         # An explicit False wins over the env opt-ins.
         assert ExperimentEngine(registry=MetricsRegistry(),
                                 audit=False).audit is False
+
+
+# ---------------------------------------------------------------------------
+# Fleet state accounting
+# ---------------------------------------------------------------------------
+class TestFleetStateScope:
+    def _engine(self, **kwargs):
+        kwargs.setdefault("registry", MetricsRegistry())
+        kwargs.setdefault("use_cache", False)
+        return ExperimentEngine(**kwargs)
+
+    def test_serial_and_parallel_fleet_statescope_bit_for_bit(self):
+        specs = [fast_spec(seed=seed) for seed in (1, 2)]
+        serial = self._engine(jobs=1, statescope=True)
+        parallel = self._engine(jobs=4, statescope=True)
+        first = serial.run_specs(specs)
+        second = parallel.run_specs(specs)
+        assert [s.statescope for s in first] == [p.statescope for p in second]
+        assert json.dumps(serial.fleet_statescope, sort_keys=True) == \
+            json.dumps(parallel.fleet_statescope, sort_keys=True)
+        assert serial.fleet_statescope["runs"] == 2
+        assert serial.fleet_statescope["conformance"]["pass"] is True
+        total = serial.fleet_statescope["series"]["state.total.bytes"]
+        assert total["peak"] > 0
+
+    def test_cache_hit_replays_statescope_record(self, tmp_path):
+        spec = fast_spec()
+        first = self._engine(jobs=1, use_cache=True, cache_dir=tmp_path,
+                             statescope=True)
+        first.run_specs([spec])
+        second = self._engine(jobs=1, use_cache=True, cache_dir=tmp_path,
+                              statescope=True)
+        summaries = second.run_specs([spec])
+        assert summaries[0].cached is True
+        assert summaries[0].statescope is not None
+        assert second.fleet_statescope == first.fleet_statescope
+
+    def test_statescope_out_writes_fleet_report(self, tmp_path):
+        out = tmp_path / "statescope-report.json"
+        engine = self._engine(jobs=1, statescope_out=str(out))
+        assert engine.statescope is True  # out-path implies accounting
+        engine.run_specs([fast_spec()], figure="fig6")
+        payload = json.loads(out.read_text())
+        assert payload["figure"] == "fig6"
+        assert payload["record"]["runs"] == 1
+        assert payload["record"]["conformance"]["pass"] is True
+        assert any("conformance" in line for line in payload["report"])
+
+    def test_statescope_off_by_default(self):
+        engine = self._engine(jobs=1)
+        summaries = engine.run_specs([fast_spec()])
+        assert engine.statescope is False
+        assert summaries[0].statescope is None
+        assert engine.fleet_statescope == {}
+
+    def test_statescope_excluded_from_equality_and_metrics(self):
+        scoped = _execute_spec(fast_spec(), statescope=True)
+        plain = _execute_spec(fast_spec())
+        assert scoped.statescope is not None
+        assert "statescope" not in plain.metrics_dict()
+        assert "statescope" not in scoped.metrics_dict()
+        restored = RunSummary.from_json_dict(
+            json.loads(json.dumps(scoped.to_json_dict()))
+        )
+        assert restored.statescope == scoped.statescope
+        # compare=False: two summaries differing only in the statescope
+        # record still compare equal.
+        other = dataclasses.replace(scoped, statescope=None)
+        assert other == scoped
+
+    def test_env_flag_resolution(self, monkeypatch):
+        from repro.obs.statescope import STATESCOPE_ENV, STATESCOPE_OUT_ENV
+
+        monkeypatch.delenv(STATESCOPE_ENV, raising=False)
+        monkeypatch.delenv(STATESCOPE_OUT_ENV, raising=False)
+        assert ExperimentEngine(registry=MetricsRegistry()).statescope is False
+        monkeypatch.setenv(STATESCOPE_ENV, "1")
+        assert ExperimentEngine(registry=MetricsRegistry()).statescope is True
+        monkeypatch.delenv(STATESCOPE_ENV)
+        monkeypatch.setenv(STATESCOPE_OUT_ENV, "scope.json")
+        engine = ExperimentEngine(registry=MetricsRegistry())
+        assert engine.statescope is True
+        assert engine.statescope_out == "scope.json"
+        # An explicit False wins over the env opt-ins.
+        assert ExperimentEngine(registry=MetricsRegistry(),
+                                statescope=False).statescope is False
 
 
 # ---------------------------------------------------------------------------

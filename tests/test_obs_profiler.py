@@ -156,6 +156,54 @@ class TestPeriodicSampler:
         ]
         assert pit_series and all(len(s["samples"]) == 4 for s in pit_series)
 
+    def test_flush_captures_partial_tail_interval(self):
+        sim = Simulator(seed=2)
+        sampler = PeriodicSampler(sim, interval=1.0)
+        state = {"v": 0.0}
+        sampler.add_probe("depth", lambda: state["v"])
+        sampler.start()
+        sim.run(until=2.0)
+        state["v"] = 7.0
+        sim.run(until=2.6)  # past the last whole-interval tick
+        assert sampler.flush() == 1
+        samples = sampler.series_dict()[0]["samples"]
+        assert samples[-1] == [2.6, 7.0]
+        assert sampler.ticks == 3
+
+    def test_flush_idempotent_per_instant(self):
+        sim = Simulator(seed=2)
+        sampler = PeriodicSampler(sim, interval=1.0)
+        sampler.add_probe("pending", sim.pending)
+        sampler.start()
+        sim.run(until=1.5)
+        assert sampler.flush() == 1
+        assert sampler.flush() == 0  # same instant: no duplicate sample
+        samples = sampler.series_dict()[0]["samples"]
+        assert [t for t, _ in samples] == [1.0, 1.5]
+
+    def test_flush_noop_on_tick_boundary(self):
+        sim = Simulator(seed=2)
+        sampler = PeriodicSampler(sim, interval=1.0)
+        sampler.add_probe("pending", sim.pending)
+        sampler.start()
+        sim.run(until=3.0)
+        # The tick at t=3.0 already sampled this instant.
+        assert sampler.flush() == 0
+        assert sampler.ticks == 3
+
+    def test_stop_flushes_then_silences(self):
+        sim = Simulator(seed=2)
+        sampler = PeriodicSampler(sim, interval=1.0)
+        sampler.add_probe("pending", sim.pending)
+        sampler.start()
+        sim.run(until=0.4)  # shorter than one interval: only flush sees it
+        sampler.stop()
+        samples = sampler.series_dict()[0]["samples"]
+        assert [t for t, _ in samples] == [0.4]
+        assert sampler.flush() == 0  # stopped: flush is inert
+        sim.run(until=5.0)
+        assert sampler.ticks == 1  # no further ticks after stop
+
     def test_sampling_does_not_change_published_values(self):
         def measure(with_sampler):
             net = build_mini_net()

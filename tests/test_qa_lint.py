@@ -696,6 +696,91 @@ class TestFleetPhases:
 
 
 # ---------------------------------------------------------------------------
+# SL016: statescope series names
+# ---------------------------------------------------------------------------
+class TestStateScopeSeries:
+    REGISTRY = (
+        'STATESCOPE_SERIES = ("state.pit.entries", "state.cs.bytes", '
+        '"state.total.bytes")\n'
+    )
+
+    def test_declared_series_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def sample(self, now):\n"
+            + '    self.track("state.pit.entries", now, 1.0)\n',
+        )
+        assert findings == []
+
+    def test_undeclared_series_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def sample(self, now):\n"
+            + '    self.track("state.pit.entires", now, 1.0)\n',
+            select={"SL016"},
+        )
+        assert codes(findings) == ["SL016"]
+        assert "state.pit.entires" in findings[0].message
+
+    def test_non_literal_series_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def sample(self, now, name):\n"
+            + "    self.track(name, now, 1.0)\n",
+            select={"SL016"},
+        )
+        assert codes(findings) == ["SL016"]
+        assert "string literal" in findings[0].message
+
+    def test_registry_in_sibling_module_counts(self, tmp_path):
+        # STATESCOPE_SERIES lives in repro/obs/statescope.py; track()
+        # call sites elsewhere are checked against it cross-file.
+        (tmp_path / "statescope.py").write_text(self.REGISTRY)
+        (tmp_path / "engine.py").write_text(
+            'def sample(self, now):\n    scope.track("state.bogus", now, 1.0)\n'
+        )
+        findings = lint_paths(
+            [str(tmp_path / "statescope.py"), str(tmp_path / "engine.py")],
+            select={"SL016"},
+        )
+        assert codes(findings) == ["SL016"]
+
+    def test_quiet_without_any_registry(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            'def sample(self, now):\n    scope.track("state.bogus", now, 1.0)\n',
+            select={"SL016"},
+        )
+        assert findings == []
+
+    def test_registry_does_not_leak_into_other_registries(self, tmp_path):
+        # STATESCOPE_SERIES feeds SL016 only — an emit() of a state
+        # series name is still an undeclared event for SL003.
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + 'KNOWN_EVENTS = ("interest.sent",)\n'
+            + "def sample(self):\n"
+            + '    self.trace.emit("state.pit.entries", {})\n',
+            select={"SL003"},
+        )
+        assert codes(findings) == ["SL003"]
+
+    def test_suppression_honoured(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            self.REGISTRY
+            + "def sample(self, now):\n"
+            + '    self.track("state.legacy", now, 1.0)'
+            + "  # simlint: disable=SL016\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 class TestSuppression:
